@@ -1,0 +1,223 @@
+// Shared helpers for the per-figure benchmark harnesses: strategy runners
+// that measure ATE/s and TAT on the simulated fabric, plus tiny CLI handling
+// (--fast shrinks tensors so the whole suite smoke-runs in seconds).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "collectives/baseline_cluster.hpp"
+#include "collectives/bounds.hpp"
+#include "collectives/halving_doubling.hpp"
+#include "collectives/ps.hpp"
+#include "collectives/ring.hpp"
+#include "collectives/streaming_ps.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/allreduce.hpp"
+#include "core/cluster.hpp"
+#include "core/profiles.hpp"
+
+namespace switchml::bench {
+
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  return false;
+}
+
+// Tensor sizes are scaled down from the paper's 100 MB default: ATE/s is
+// size-independent (§5.3, verified by tests), and smaller tensors keep the
+// discrete-event runs fast.
+struct BenchScale {
+  std::uint64_t tensor_elems; // per measured aggregation
+  int repetitions;
+  static BenchScale from_args(int argc, char** argv,
+                              std::uint64_t full_elems = 4'000'000, int full_reps = 3) {
+    if (has_flag(argc, argv, "--fast")) return {256 * 1024, 1};
+    return {full_elems, full_reps};
+  }
+};
+
+// --- SwitchML ---------------------------------------------------------------
+
+struct RateResult {
+  double ate_per_s = 0.0;  // aggregated tensor elements per second
+  double tat_ms = 0.0;     // median TAT per aggregation
+  double rtt_us = 0.0;     // median per-packet RTT (SwitchML only)
+};
+
+inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchScale& scale,
+                                   std::uint32_t pool_size = 0, bool mtu = false,
+                                   double loss = 0.0, std::uint8_t wire_elem_bytes = 4,
+                                   double extra_per_byte_ns = 0.0, bool adaptive_rto = false) {
+  core::ClusterConfig cfg = core::ClusterConfig::for_rate(rate, workers);
+  cfg.timing_only = true;
+  if (pool_size != 0) cfg.pool_size = pool_size;
+  cfg.loss_prob = loss;
+  cfg.wire_elem_bytes = wire_elem_bytes;
+  cfg.adaptive_rto = adaptive_rto;
+  // Extra per-byte CPU work (e.g. the fig8 scale+convert pipeline) rides the
+  // per-packet processing loop, so it is charged to the NIC cores.
+  cfg.nic.per_byte_tx += extra_per_byte_ns;
+  cfg.nic.per_byte_rx += extra_per_byte_ns;
+  if (mtu) {
+    cfg.elems_per_packet = net::kMtuElemsPerPacket;
+    cfg.mtu_emulation = true;
+  }
+  core::Cluster cluster(cfg);
+
+  Summary tat_ms;
+  for (int r = 0; r < scale.repetitions; ++r) {
+    auto tats = cluster.reduce_timing(scale.tensor_elems);
+    for (Time t : tats) tat_ms.add(to_msec(t));
+  }
+  RateResult out;
+  out.tat_ms = tat_ms.median();
+  out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  const auto& rtt = cluster.worker(0).rtt();
+  if (!rtt.empty()) out.rtt_us = rtt.median();
+  return out;
+}
+
+// --- baselines ---------------------------------------------------------------
+
+enum class BaselineKind { GlooRing, NcclRing, GlooRdmaRing, HalvingDoubling,
+                          DedicatedPs, ColocatedPs, DedicatedPsMtu };
+
+inline const char* baseline_name(BaselineKind k) {
+  switch (k) {
+    case BaselineKind::GlooRing: return "Gloo";
+    case BaselineKind::NcclRing: return "NCCL";
+    case BaselineKind::GlooRdmaRing: return "Gloo-RDMA";
+    case BaselineKind::HalvingDoubling: return "HalvDoub";
+    case BaselineKind::DedicatedPs: return "Dedicated PS";
+    case BaselineKind::ColocatedPs: return "Colocated PS";
+    case BaselineKind::DedicatedPsMtu: return "Dedicated PS (MTU)";
+  }
+  return "?";
+}
+
+// The PS baselines run the paper's DPDK streaming program (Algorithm 1 in
+// host software, SwitchML packet format), so they use the SwitchML worker
+// protocol, not the bulk reliable transport.
+inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, int workers,
+                                       const BenchScale& scale, double loss = 0.0) {
+  collectives::StreamingPsConfig cfg;
+  cfg.n_workers = workers;
+  cfg.placement = kind == BaselineKind::ColocatedPs
+                      ? collectives::StreamingPsPlacement::Colocated
+                      : collectives::StreamingPsPlacement::Dedicated;
+  cfg.link_rate = rate;
+  cfg.loss_prob = loss;
+  cfg.nic = core::ps_host_nic(rate);
+  cfg.pool_size = rate >= gbps(100) ? 512 : 128;
+  cfg.timing_only = true;
+  if (kind == BaselineKind::DedicatedPsMtu) cfg.elems_per_packet = net::kMtuElemsPerPacket;
+
+  collectives::StreamingPsCluster cluster(cfg);
+  Summary tat_ms;
+  for (int r = 0; r < scale.repetitions; ++r) {
+    auto tats = cluster.reduce_timing(scale.tensor_elems);
+    for (Time t : tats) tat_ms.add(to_msec(t));
+  }
+  RateResult out;
+  out.tat_ms = tat_ms.median();
+  out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  return out;
+}
+
+inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int workers,
+                                   const BenchScale& scale, double loss = 0.0) {
+  if (kind == BaselineKind::DedicatedPs || kind == BaselineKind::ColocatedPs ||
+      kind == BaselineKind::DedicatedPsMtu)
+    return measure_streaming_ps(kind, rate, workers, scale, loss);
+
+  collectives::BaselineClusterConfig cfg;
+  cfg.link_rate = rate;
+  cfg.loss_prob = loss;
+
+  net::TransportProfile transport;
+  switch (kind) {
+    case BaselineKind::GlooRing:
+    case BaselineKind::HalvingDoubling: {
+      auto p = core::gloo_tcp(rate);
+      cfg.nic = p.nic;
+      transport = p.transport;
+      cfg.n_hosts = workers;
+      break;
+    }
+    case BaselineKind::NcclRing: {
+      auto p = core::nccl_tcp(rate);
+      cfg.nic = p.nic;
+      transport = p.transport;
+      cfg.n_hosts = workers;
+      break;
+    }
+    case BaselineKind::GlooRdmaRing: {
+      auto p = core::gloo_rdma(rate);
+      cfg.nic = p.nic;
+      transport = p.transport;
+      cfg.n_hosts = workers;
+      break;
+    }
+    case BaselineKind::DedicatedPs:
+    case BaselineKind::DedicatedPsMtu:
+      cfg.nic = core::ps_host_nic(rate);
+      transport = kind == BaselineKind::DedicatedPsMtu ? core::ps_transport_mtu()
+                                                       : core::ps_transport_small();
+      cfg.n_hosts = 2 * workers;
+      break;
+    case BaselineKind::ColocatedPs:
+      cfg.nic = core::ps_host_nic(rate);
+      transport = core::ps_transport_small();
+      cfg.n_hosts = workers;
+      break;
+  }
+
+  collectives::BaselineCluster cluster(cfg);
+  const std::int64_t bytes = static_cast<std::int64_t>(scale.tensor_elems) * 4;
+
+  Summary tat_ms;
+  for (int r = 0; r < scale.repetitions; ++r) {
+    Time t = 0;
+    switch (kind) {
+      case BaselineKind::GlooRing:
+      case BaselineKind::NcclRing:
+      case BaselineKind::GlooRdmaRing: {
+        collectives::RingAllReduce ring(cluster, transport);
+        t = ring.run(bytes);
+        break;
+      }
+      case BaselineKind::HalvingDoubling: {
+        collectives::HalvingDoublingAllReduce hd(cluster, transport);
+        t = hd.run(bytes);
+        break;
+      }
+      case BaselineKind::DedicatedPs:
+      case BaselineKind::DedicatedPsMtu: {
+        collectives::ParameterServerAllReduce ps(cluster, workers,
+                                                 collectives::PsPlacement::Dedicated, transport);
+        t = ps.run(bytes);
+        break;
+      }
+      case BaselineKind::ColocatedPs: {
+        collectives::ParameterServerAllReduce ps(cluster, workers,
+                                                 collectives::PsPlacement::Colocated, transport);
+        t = ps.run(bytes);
+        break;
+      }
+    }
+    tat_ms.add(to_msec(t));
+  }
+  RateResult out;
+  out.tat_ms = tat_ms.median();
+  out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  return out;
+}
+
+inline std::string mega(double v) { return Table::num(v / 1e6, 1); }
+
+} // namespace switchml::bench

@@ -1,0 +1,58 @@
+// Figure 4: aggregated tensor elements per second (ATE/s) as the number of
+// workers grows (4/8/16), on 10 and 100 Gbps networks, for SwitchML vs the
+// all-reduce libraries (Gloo, NCCL) and PS strategies, with the line-rate
+// bounds the paper plots as dashed lines. Also §5.4's Gloo-RDMA comparison.
+//
+// Paper's shape to reproduce: SwitchML is highest and flat in n; Dedicated PS
+// roughly matches it (using 2x machines); Colocated PS reaches about half;
+// NCCL > Gloo, both well below the ring bound and declining slightly with n.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace switchml;
+using namespace switchml::bench;
+
+int main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::from_args(argc, argv, 2'000'000, 2);
+
+  for (BitsPerSecond rate : {gbps(10), gbps(100)}) {
+    std::printf("=== Figure 4: ATE/s (x1e6), %lld Gbps, tensor %.1f MB ===\n",
+                static_cast<long long>(rate / kGbps),
+                static_cast<double>(scale.tensor_elems) * 4 / 1e6);
+    Table table({"strategy", "n=4", "n=8", "n=16"});
+
+    auto row = [&](const std::string& name, auto&& fn) {
+      std::vector<std::string> cells{name};
+      for (int n : {4, 8, 16}) cells.push_back(mega(fn(n)));
+      table.add_row(std::move(cells));
+    };
+
+    row("SwitchML", [&](int n) { return measure_switchml(rate, n, scale).ate_per_s; });
+    row("Gloo", [&](int n) {
+      return measure_baseline(BaselineKind::GlooRing, rate, n, scale).ate_per_s;
+    });
+    row("NCCL", [&](int n) {
+      return measure_baseline(BaselineKind::NcclRing, rate, n, scale).ate_per_s;
+    });
+    row("Gloo-RDMA (5.4)", [&](int n) {
+      return measure_baseline(BaselineKind::GlooRdmaRing, rate, n, scale).ate_per_s;
+    });
+    row("Halving-doubling", [&](int n) {
+      return measure_baseline(BaselineKind::HalvingDoubling, rate, n, scale).ate_per_s;
+    });
+    row("Dedicated PS", [&](int n) {
+      return measure_baseline(BaselineKind::DedicatedPs, rate, n, scale).ate_per_s;
+    });
+    row("Colocated PS", [&](int n) {
+      return measure_baseline(BaselineKind::ColocatedPs, rate, n, scale).ate_per_s;
+    });
+    row("line rate (SwitchML)", [&](int) {
+      return collectives::switchml_ate_rate(rate, net::kDefaultElemsPerPacket);
+    });
+    row("line rate (ring)", [&](int n) { return collectives::ring_ate_rate(rate, n); });
+
+    std::printf("%s\n", table.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 5: TAT inflation under uniform random packet loss (0.01% / 0.1% /
+// 1% on every link), SwitchML vs the Gloo and NCCL baselines; retransmission
+// timeout 1 ms, 8 workers at 10 Gbps.
+//
+// Shape to reproduce: at 0.01% everybody is barely affected; at 0.1% and 1%
+// SwitchML inflates modestly (selective per-slot retransmission) while the
+// TCP-based baselines inflate by an order of magnitude (go-back-N stalls and
+// RTO backoff on every lost segment).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace switchml;
+using namespace switchml::bench;
+
+int main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::from_args(argc, argv, 2'000'000, 2);
+  const BitsPerSecond rate = gbps(10);
+  const int workers = 8;
+
+  std::printf("=== Figure 5: TAT inflation vs loss rate (10 Gbps, 8 workers) ===\n");
+  const double base_fixed = measure_switchml(rate, workers, scale).tat_ms;
+  const double base_adapt =
+      measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, true).tat_ms;
+  const double base_gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale).tat_ms;
+  const double base_nccl = measure_baseline(BaselineKind::NcclRing, rate, workers, scale).tat_ms;
+
+  Table table({"loss rate", "SwitchML (1ms RTO)", "SwitchML (adaptive RTO)", "Gloo", "NCCL"});
+  for (double loss : {0.0001, 0.001, 0.01}) {
+    const double fixed = measure_switchml(rate, workers, scale, 0, false, loss).tat_ms;
+    const double adapt =
+        measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, true).tat_ms;
+    const double gloo =
+        measure_baseline(BaselineKind::GlooRing, rate, workers, scale, loss).tat_ms;
+    const double nccl =
+        measure_baseline(BaselineKind::NcclRing, rate, workers, scale, loss).tat_ms;
+    table.add_row({Table::num(loss * 100, 2) + "%", Table::num(fixed / base_fixed, 2) + "x",
+                   Table::num(adapt / base_adapt, 2) + "x",
+                   Table::num(gloo / base_gloo, 2) + "x",
+                   Table::num(nccl / base_nccl, 2) + "x"});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "(inflation normalized to each strategy's loss-free TAT. With the paper's literal\n"
+      " 1 ms RTO, every lost packet stalls its slot for ~50 RTTs, dominating inflation in\n"
+      " the simulator; the adaptive RTO of §6 retransmits after ~4 RTTs and reproduces\n"
+      " the paper's reported inflation shape — modest for SwitchML, catastrophic for the\n"
+      " TCP baselines once AIMD keeps their windows collapsed.)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Appendix D: aggregating encrypted model updates. Paillier is additively
+// homomorphic — E(x) * E(y) mod n^2 = E(x + y) — so an aggregation device
+// capable of modular multiplication could sum gradients WITHOUT decrypting
+// them. This example runs the full pipeline on a small tensor:
+//
+//   worker: gradient -> quantize (f, Theorem 2) -> signed encode -> encrypt
+//   aggregator: ciphertext-multiply accumulate (the would-be switch op)
+//   worker: decrypt -> decode -> dequantize -> aggregated gradient
+//
+// and verifies the result against the plaintext SwitchML aggregation.
+#include <cstdio>
+
+#include "crypto/paillier.hpp"
+#include "quant/fixed_point.hpp"
+#include "sim/rng.hpp"
+
+using namespace switchml;
+
+int main() {
+  const int n_workers = 4;
+  const std::size_t d = 16; // ciphertexts are ~1 kbit each; keep the demo small
+
+  sim::Rng rng = sim::Rng::stream(99, "encrypted");
+  std::printf("generating a 512-bit Paillier key...\n");
+  const auto kp = crypto::paillier_keygen(512, rng);
+  crypto::EncryptedAggregator aggregator(kp.pub);
+
+  // Per-worker float gradients.
+  std::vector<std::vector<float>> grads(n_workers, std::vector<float>(d));
+  for (auto& g : grads)
+    for (auto& v : g) v = static_cast<float>(rng.normal(0.0, 1.0));
+
+  // Quantize exactly as the plaintext deployment would (§3.7).
+  float max_abs = 0.0f;
+  for (const auto& g : grads)
+    for (float v : g) max_abs = std::max(max_abs, std::abs(v));
+  const double f = quant::max_safe_scaling_factor(n_workers, max_abs * 2.0);
+
+  // Workers encrypt their quantized updates.
+  auto acc = aggregator.zero(d);
+  std::vector<std::int64_t> plain_sum(d, 0);
+  for (int w = 0; w < n_workers; ++w) {
+    const auto q = quant::quantize(grads[static_cast<std::size_t>(w)], f);
+    std::vector<crypto::BigInt> enc(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      enc[i] = kp.pub.encrypt_signed(q[i], rng);
+      plain_sum[i] += q[i];
+    }
+    aggregator.accumulate(acc, enc); // modular multiplication only!
+    std::printf("  worker %d: %zu ciphertexts aggregated\n", w, d);
+  }
+
+  // Any worker holding the private key decrypts the aggregate.
+  bool exact = true;
+  std::printf("\n%-6s %-12s %-12s %-12s\n", "elem", "decrypted", "plain sum", "float sum/f");
+  for (std::size_t i = 0; i < d; ++i) {
+    const std::int64_t m = kp.priv.decrypt_signed(acc[i], kp.pub);
+    if (m != plain_sum[i]) exact = false;
+    if (i < 6)
+      std::printf("%-6zu %-12lld %-12lld %-12.6f\n", i, static_cast<long long>(m),
+                  static_cast<long long>(plain_sum[i]), static_cast<double>(m) / f);
+  }
+  std::printf("...\nencrypted aggregation matches the plaintext integer sums: %s\n",
+              exact ? "YES" : "NO");
+  std::printf("(the aggregator only ever multiplied ciphertexts mod n^2 — it never saw a "
+              "gradient)\n");
+  return exact ? 0 : 1;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Convenience: run every bench binary at full scale, one output file per
+# bench, into results/. The canonical combined capture lives in
+# /root/repo/bench_output.txt (regenerate with:
+#   for b in build/bench/*; do $b; done 2>&1 | tee bench_output.txt ).
+cd /root/repo
+for b in build/bench/*; do
+  name=$(basename "$b")
+  echo "=== running $name ==="
+  timeout 1200 "$b" > "results/$name.txt" 2>&1
+  echo "=== $name exit=$? ==="
+done

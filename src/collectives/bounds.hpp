@@ -1,0 +1,58 @@
+// Closed-form line-rate bounds plotted as dashed lines in the paper's
+// Fig 4 (ATE/s at line rate) and Figs 2/7/8 (TAT at line rate).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace switchml::collectives {
+
+// SwitchML: every aggregated element costs `elem_bytes` up and down on each
+// worker link, pipelined full duplex, with per-packet header overhead.
+inline double switchml_ate_rate(BitsPerSecond rate, std::uint32_t elems_per_packet,
+                                std::uint32_t elem_bytes = 4) {
+  const double payload = static_cast<double>(elems_per_packet) * elem_bytes;
+  const double goodput_bytes = static_cast<double>(rate) / 8.0 *
+                               (payload / (payload + net::kSmlHeaderBytes));
+  return goodput_bytes / elem_bytes;
+}
+
+// Bandwidth-optimal ring all-reduce (§2.3): each worker sends and receives
+// 2 (n-1)/n * |U| bytes; ATE/s at line rate follows with MSS/header overhead.
+inline double ring_ate_rate(BitsPerSecond rate, int n, std::int64_t mss = 1460,
+                            std::uint32_t elem_bytes = 4) {
+  const double goodput_bytes = static_cast<double>(rate) / 8.0 *
+                               (static_cast<double>(mss) /
+                                static_cast<double>(mss + net::kSegmentHeaderBytes));
+  const double transfers_per_elem =
+      2.0 * (static_cast<double>(n) - 1.0) / static_cast<double>(n);
+  return goodput_bytes / (elem_bytes * transfers_per_elem);
+}
+
+// Dedicated PS: each worker link carries |U| up and |U| down (full duplex),
+// like SwitchML but with the PS transport's framing.
+inline double dedicated_ps_ate_rate(BitsPerSecond rate, std::int64_t mss,
+                                    std::uint32_t elem_bytes = 4) {
+  const double goodput_bytes = static_cast<double>(rate) / 8.0 *
+                               (static_cast<double>(mss) /
+                                static_cast<double>(mss + net::kSegmentHeaderBytes));
+  return goodput_bytes / elem_bytes;
+}
+
+// Colocated PS: the worker's NIC additionally carries the PS shard traffic
+// (n-1)/n * |U| in and out, halving the achievable rate in the limit.
+inline double colocated_ps_ate_rate(BitsPerSecond rate, int n, std::int64_t mss,
+                                    std::uint32_t elem_bytes = 4) {
+  const double per_elem_factor =
+      1.0 + (static_cast<double>(n) - 1.0) / static_cast<double>(n);
+  return dedicated_ps_ate_rate(rate, mss, elem_bytes) / per_elem_factor;
+}
+
+// TAT at line rate for a tensor of `elems` elements given an ATE/s bound.
+inline double tat_seconds_at(double ate_rate, std::uint64_t elems) {
+  return static_cast<double>(elems) / ate_rate;
+}
+
+} // namespace switchml::collectives

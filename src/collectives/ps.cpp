@@ -1,0 +1,157 @@
+#include "collectives/ps.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+
+namespace switchml::collectives {
+
+ParameterServerAllReduce::ParameterServerAllReduce(BaselineCluster& cluster, int n_workers,
+                                                   PsPlacement placement,
+                                                   net::TransportProfile transport)
+    : cluster_(cluster), n_workers_(n_workers), placement_(placement), transport_(transport) {
+  const int needed = placement == PsPlacement::Dedicated ? 2 * n_workers : n_workers;
+  if (cluster.n_hosts() < needed)
+    throw std::invalid_argument("ParameterServerAllReduce: cluster too small for placement");
+}
+
+Time ParameterServerAllReduce::run(std::int64_t tensor_bytes) {
+  if (tensor_bytes % 4 != 0) throw std::invalid_argument("PS: bytes must be x4");
+  return execute(tensor_bytes / 4, nullptr);
+}
+
+Time ParameterServerAllReduce::run(std::vector<std::vector<float>>& buffers) {
+  if (static_cast<int>(buffers.size()) != n_workers_)
+    throw std::invalid_argument("PS: one buffer per worker");
+  return execute(static_cast<std::int64_t>(buffers.front().size()), &buffers);
+}
+
+Time ParameterServerAllReduce::execute(std::int64_t elems,
+                                       std::vector<std::vector<float>>* buffers) {
+  const int n = n_workers_;
+  auto& sim = cluster_.simulation();
+  const Time t0 = sim.now();
+
+  const std::int64_t base = elems / n;
+  const std::int64_t rem = elems % n;
+  auto shard_lo = [&](int j) { return base * j + std::min<std::int64_t>(j, rem); };
+  auto shard_len = [&](int j) { return base + (j < rem ? 1 : 0); };
+
+  struct State {
+    std::vector<std::unique_ptr<net::ReliableSender>> senders;
+    std::vector<std::unique_ptr<net::ReliableReceiver>> receivers;
+    std::vector<std::vector<float>> shard_sum; // [shard] running aggregate at its PS
+    std::vector<int> pushes_left;              // [shard]
+    int broadcasts_left = 0;
+  };
+  auto st = std::make_shared<State>();
+  st->pushes_left.assign(static_cast<std::size_t>(n), 0);
+  if (buffers != nullptr) st->shard_sum.resize(static_cast<std::size_t>(n));
+
+  const bool colocated = placement_ == PsPlacement::Colocated;
+
+  // Broadcast of a completed shard to one worker.
+  auto send_result = [&, st](int shard, int worker) {
+    const std::int64_t len = shard_len(shard);
+    const std::uint32_t stream = next_stream_++;
+    net::ReliableReceiver::ChunkHandler on_chunk;
+    if (buffers != nullptr) {
+      float* dst = (*buffers)[static_cast<std::size_t>(worker)].data() + shard_lo(shard);
+      on_chunk = [dst](std::uint64_t seq, std::uint32_t seg_len, std::span<const float> data) {
+        const std::size_t first = static_cast<std::size_t>(seq / 4);
+        const std::size_t cnt = seg_len / 4;
+        if (data.size() != cnt) throw std::logic_error("PS: result segment size mismatch");
+        for (std::size_t j = 0; j < cnt; ++j) dst[first + j] = data[j];
+      };
+    }
+    auto on_done = [st, &sim] { --st->broadcasts_left; };
+    st->receivers.push_back(std::make_unique<net::ReliableReceiver>(
+        cluster_.host(worker), cluster_.host(ps_host_index(shard)).id(), stream, len * 4,
+        std::move(on_chunk), on_done));
+    auto sender = std::make_unique<net::ReliableSender>(
+        cluster_.host(ps_host_index(shard)), cluster_.host(worker).id(), stream, transport_,
+        nullptr);
+    std::span<const float> data;
+    if (buffers != nullptr)
+      data = std::span<const float>(st->shard_sum[static_cast<std::size_t>(shard)]);
+    sender->start(len * 4, data);
+    st->senders.push_back(std::move(sender));
+  };
+
+  auto shard_complete = [&, st](int shard) {
+    for (int w = 0; w < n; ++w) {
+      if (colocated && w == shard) {
+        // Local "broadcast": the PS shard lives on this worker.
+        if (buffers != nullptr) {
+          float* dst = (*buffers)[static_cast<std::size_t>(w)].data() + shard_lo(shard);
+          const auto& sum = st->shard_sum[static_cast<std::size_t>(shard)];
+          std::copy(sum.begin(), sum.end(), dst);
+        }
+        --st->broadcasts_left;
+      } else {
+        send_result(shard, w);
+      }
+    }
+  };
+
+  // --- set up push phase -----------------------------------------------------
+  for (int shard = 0; shard < n; ++shard) {
+    const std::int64_t len = shard_len(shard);
+    if (buffers != nullptr)
+      st->shard_sum[static_cast<std::size_t>(shard)].assign(static_cast<std::size_t>(len), 0.0f);
+    st->pushes_left[static_cast<std::size_t>(shard)] = colocated ? n - 1 : n;
+    st->broadcasts_left += n;
+  }
+
+  for (int shard = 0; shard < n; ++shard) {
+    // Colocated: the local worker's contribution is applied in place.
+    if (colocated && buffers != nullptr) {
+      auto& sum = st->shard_sum[static_cast<std::size_t>(shard)];
+      const float* src = (*buffers)[static_cast<std::size_t>(shard)].data() + shard_lo(shard);
+      for (std::size_t j = 0; j < sum.size(); ++j) sum[j] += src[j];
+    }
+    if (colocated && st->pushes_left[static_cast<std::size_t>(shard)] == 0) {
+      shard_complete(shard); // n == 1 degenerate case
+      continue;
+    }
+    for (int w = 0; w < n; ++w) {
+      if (colocated && w == shard) continue;
+      const std::int64_t len = shard_len(shard);
+      const std::uint32_t stream = next_stream_++;
+      net::ReliableReceiver::ChunkHandler on_chunk;
+      if (buffers != nullptr) {
+        float* dst = st->shard_sum[static_cast<std::size_t>(shard)].data();
+        on_chunk = [dst](std::uint64_t seq, std::uint32_t seg_len, std::span<const float> data) {
+          const std::size_t first = static_cast<std::size_t>(seq / 4);
+          const std::size_t cnt = seg_len / 4;
+          if (data.size() != cnt) throw std::logic_error("PS: push segment size mismatch");
+          for (std::size_t j = 0; j < cnt; ++j) dst[first + j] += data[j];
+        };
+      }
+      auto on_done = [st, shard, &shard_complete] {
+        if (--st->pushes_left[static_cast<std::size_t>(shard)] == 0) shard_complete(shard);
+      };
+      st->receivers.push_back(std::make_unique<net::ReliableReceiver>(
+          cluster_.host(ps_host_index(shard)), cluster_.host(w).id(), stream, len * 4,
+          std::move(on_chunk), on_done));
+      auto sender = std::make_unique<net::ReliableSender>(
+          cluster_.host(w), cluster_.host(ps_host_index(shard)).id(), stream, transport_,
+          nullptr);
+      std::span<const float> data;
+      if (buffers != nullptr)
+        data = std::span<const float>(
+            (*buffers)[static_cast<std::size_t>(w)].data() + shard_lo(shard),
+            static_cast<std::size_t>(len));
+      sender->start(len * 4, data);
+      st->senders.push_back(std::move(sender));
+    }
+  }
+
+  sim.run();
+  if (st->broadcasts_left != 0) throw std::runtime_error("PS all-reduce did not complete");
+  return sim.now() - t0;
+}
+
+} // namespace switchml::collectives

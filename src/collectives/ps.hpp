@@ -1,0 +1,42 @@
+// Parameter-server aggregation (§5.3): a software implementation of
+// Algorithm 1 sharded uniformly over n PS processes, either on dedicated
+// machines (doubling the cluster) or colocated with the workers. Workers
+// push shard j of their update to PS j; once PS j has all n contributions it
+// broadcasts the aggregated shard back to every worker. Each shard's
+// broadcast begins as soon as that shard completes (per-shard pipelining).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "collectives/baseline_cluster.hpp"
+
+namespace switchml::collectives {
+
+enum class PsPlacement : std::uint8_t {
+  Dedicated, // cluster hosts [0,n) are workers, [n,2n) are parameter servers
+  Colocated, // cluster hosts [0,n) each run a worker AND one PS shard
+};
+
+class ParameterServerAllReduce {
+public:
+  ParameterServerAllReduce(BaselineCluster& cluster, int n_workers, PsPlacement placement,
+                           net::TransportProfile transport);
+
+  Time run(std::int64_t tensor_bytes);                // timing-only
+  Time run(std::vector<std::vector<float>>& buffers); // data mode (buffers -> sums)
+
+private:
+  Time execute(std::int64_t elems, std::vector<std::vector<float>>* buffers);
+  [[nodiscard]] int ps_host_index(int shard) const {
+    return placement_ == PsPlacement::Dedicated ? n_workers_ + shard : shard;
+  }
+
+  BaselineCluster& cluster_;
+  int n_workers_;
+  PsPlacement placement_;
+  net::TransportProfile transport_;
+  std::uint32_t next_stream_ = 2'000'000;
+};
+
+} // namespace switchml::collectives

@@ -1,0 +1,44 @@
+// Tiny leveled logger. Disabled below the configured level at runtime;
+// default level is Warn so simulations stay quiet unless asked.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace switchml {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+// Stream-style log statement: LOG(Info) << "x=" << x;
+class LogLine {
+public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+} // namespace switchml
+
+#define SML_LOG(level)                                        \
+  if (static_cast<int>(::switchml::LogLevel::level) <         \
+      static_cast<int>(::switchml::log_level())) {            \
+  } else                                                      \
+    ::switchml::LogLine(::switchml::LogLevel::level)

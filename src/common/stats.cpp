@@ -1,0 +1,76 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace switchml {
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  sorted_ = false;
+}
+
+void Summary::add_all(const std::vector<double>& vs) {
+  samples_.insert(samples_.end(), vs.begin(), vs.end());
+  sorted_ = false;
+}
+
+void Summary::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty summary");
+  sort();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty summary");
+  sort();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean on empty summary");
+  double s = 0;
+  for (double v : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double Summary::median() const { return percentile(50.0); }
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("Summary::percentile on empty summary");
+  sort();
+  if (p <= 0) return samples_.front();
+  if (p >= 100) return samples_.back();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::string Summary::str(int precision) const {
+  if (samples_.empty()) return "(no samples)";
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << median() << " [" << min() << ", " << max() << "] (n=" << count() << ")";
+  return os.str();
+}
+
+} // namespace switchml

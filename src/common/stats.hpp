@@ -1,0 +1,40 @@
+// Small descriptive-statistics helper used wherever the paper reports
+// violin plots (median/min/max) or rate summaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace switchml {
+
+// Accumulates samples and produces the summary statistics the paper's
+// violin plots show: median, min, max, plus mean and percentiles.
+class Summary {
+public:
+  void add(double v);
+  void add_all(const std::vector<double>& vs);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+  [[nodiscard]] double stddev() const;
+  // Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  // "median [min, max] (n=...)" — the textual equivalent of a violin plot.
+  [[nodiscard]] std::string str(int precision = 2) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+private:
+  void sort() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+} // namespace switchml

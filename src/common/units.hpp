@@ -1,0 +1,46 @@
+// Time and bandwidth unit helpers shared across the simulator.
+//
+// All simulated time is kept in integer nanoseconds (sim::Time). These
+// helpers make call sites read like the quantities they describe
+// ("10_gbps", "usec(5)") instead of bare integer math.
+#pragma once
+
+#include <cstdint>
+
+namespace switchml {
+
+// Simulated time in nanoseconds.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time nsec(std::int64_t n) { return n * kNanosecond; }
+constexpr Time usec(std::int64_t n) { return n * kMicrosecond; }
+constexpr Time msec(std::int64_t n) { return n * kMillisecond; }
+constexpr Time sec(std::int64_t n) { return n * kSecond; }
+
+constexpr double to_usec(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_msec(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_sec(Time t) { return static_cast<double>(t) / kSecond; }
+
+// Bandwidth in bits per second.
+using BitsPerSecond = std::int64_t;
+
+constexpr BitsPerSecond kGbps = 1'000'000'000;
+constexpr BitsPerSecond gbps(std::int64_t n) { return n * kGbps; }
+
+// Time to serialize `bytes` onto a link of rate `bps`, rounded up so that a
+// nonzero transfer always takes nonzero simulated time.
+constexpr Time serialization_time(std::int64_t bytes, BitsPerSecond bps) {
+  if (bytes <= 0 || bps <= 0) return 0;
+  const std::int64_t bits = bytes * 8;
+  return (bits * kSecond + bps - 1) / bps;
+}
+
+constexpr std::int64_t kKiB = 1024;
+constexpr std::int64_t kMiB = 1024 * kKiB;
+
+} // namespace switchml

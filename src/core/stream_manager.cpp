@@ -1,0 +1,92 @@
+#include "core/stream_manager.hpp"
+
+#include <stdexcept>
+
+#include "quant/fixed_point.hpp"
+
+namespace switchml::core {
+
+StreamManager::StreamManager(worker::Worker& worker, StreamOptions options)
+    : worker_(worker), options_(options) {
+  worker_.set_chunk_handler([this](std::uint64_t off, std::uint32_t count) {
+    on_chunk(off, count);
+  });
+}
+
+void StreamManager::submit(std::span<const float> in, std::span<float> out,
+                           double scaling_factor, std::function<void()> on_done) {
+  if (in.size() != out.size())
+    throw std::invalid_argument("StreamManager::submit: in/out size mismatch");
+  if (scaling_factor <= 0)
+    throw std::invalid_argument("StreamManager::submit: scaling factor must be positive");
+  PendingTensor t;
+  t.in = in;
+  t.out = out;
+  t.f = scaling_factor;
+  t.on_done = std::move(on_done);
+  queued_.push_back(std::move(t));
+}
+
+void StreamManager::flush() {
+  if (running_ || queued_.empty()) return;
+
+  const std::uint64_t k = worker_.config().elems_per_packet;
+  active_.clear();
+  std::uint64_t total = 0;
+  while (!queued_.empty()) {
+    PendingTensor t = std::move(queued_.front());
+    queued_.pop_front();
+    t.first_elem = total;
+    // Pad each tensor to a whole number of packets so no packet spans two
+    // tensors (padding elements aggregate zeros, which is harmless).
+    t.padded_elems = (t.in.size() + k - 1) / k * k;
+    t.chunks_left = t.padded_elems / k;
+    total += t.padded_elems;
+    active_.push_back(std::move(t));
+  }
+
+  staging_in_.assign(total, 0);
+  staging_out_.assign(total, 0);
+  for (const auto& t : active_) {
+    quant::quantize(t.in, t.f,
+                    std::span<std::int32_t>(staging_in_.data() + t.first_elem, t.in.size()));
+  }
+
+  running_ = true;
+  worker_.start_reduction(staging_in_, staging_out_, [this] { on_batch_complete(); });
+}
+
+void StreamManager::on_chunk(std::uint64_t off, std::uint32_t /*count*/) {
+  if (!running_) return;
+  // Locate the tensor owning this chunk (tensors are packet-aligned, so a
+  // chunk belongs to exactly one tensor). Linear scan is fine: frameworks
+  // emit at most a few hundred tensors per iteration.
+  for (auto& t : active_) {
+    if (off >= t.first_elem && off < t.first_elem + t.padded_elems) {
+      if (t.chunks_left == 0)
+        throw std::logic_error("StreamManager: more chunks than expected for a tensor");
+      if (--t.chunks_left == 0) finish_tensor(t);
+      return;
+    }
+  }
+  throw std::logic_error("StreamManager: chunk for unknown offset");
+}
+
+void StreamManager::finish_tensor(PendingTensor& t) {
+  const double inv_n = 1.0 / static_cast<double>(worker_.config().n_workers);
+  const double post = options_.average ? inv_n : 1.0;
+  for (std::size_t j = 0; j < t.out.size(); ++j) {
+    const auto sum = static_cast<double>(staging_out_[t.first_elem + j]);
+    t.out[j] = static_cast<float>(sum / t.f * post);
+  }
+  ++tensors_completed_;
+  if (t.on_done) t.on_done();
+}
+
+void StreamManager::on_batch_complete() {
+  running_ = false;
+  active_.clear();
+  if (!queued_.empty()) flush(); // keep the stream continuous across batches
+}
+
+} // namespace switchml::core

@@ -1,0 +1,80 @@
+// Virtual stream buffer manager (§4, Appendix B).
+//
+// ML frameworks emit one gradient tensor per layer (e.g., 152 tensors per
+// ResNet50 iteration in Caffe2) and reduce them independently but in a fixed
+// order. Rather than treating each tensor as an isolated reduction — which
+// would drain the aggregator pool between tensors — the manager concatenates
+// the tensors queued at flush() into one continuous quantized stream,
+// keeping the switch pipeline full across tensor boundaries, and steers
+// completed pieces back to the right tensor. Each tensor's completion
+// callback fires as soon as all of ITS pieces have been aggregated, so
+// downstream work (e.g., the optimizer step for that layer) can start while
+// later tensors are still in flight.
+//
+// Every worker of a job runs one manager and must submit the same tensor
+// sizes in the same order (Horovod enforces this ordering; the paper patches
+// one line in Caffe2 to do the same).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "worker/worker.hpp"
+
+namespace switchml::core {
+
+struct StreamOptions {
+  bool average = false; // divide aggregated tensors by n
+};
+
+class StreamManager {
+public:
+  explicit StreamManager(worker::Worker& worker, StreamOptions options = {});
+  StreamManager(const StreamManager&) = delete;
+  StreamManager& operator=(const StreamManager&) = delete;
+
+  // Queues a tensor for aggregation. `in` is this worker's contribution;
+  // the aggregated result is written to `out` (may alias `in`). Both spans
+  // must stay alive until `on_done` fires. `scaling_factor` is the
+  // model-dependent f of §3.7.
+  void submit(std::span<const float> in, std::span<float> out, double scaling_factor,
+              std::function<void()> on_done);
+
+  // Starts aggregating everything queued, if the worker is idle. Further
+  // submissions are queued for the next flush, which happens automatically
+  // when the current batch finishes.
+  void flush();
+
+  [[nodiscard]] bool idle() const { return !running_; }
+  [[nodiscard]] std::size_t tensors_completed() const { return tensors_completed_; }
+
+private:
+  struct PendingTensor {
+    std::span<const float> in;
+    std::span<float> out;
+    double f = 1.0;
+    std::function<void()> on_done;
+    // Assigned at flush:
+    std::uint64_t first_elem = 0; // offset in the padded stream
+    std::uint64_t padded_elems = 0;
+    std::uint64_t chunks_left = 0;
+  };
+
+  void on_chunk(std::uint64_t off, std::uint32_t count);
+  void on_batch_complete();
+  void finish_tensor(PendingTensor& t);
+
+  worker::Worker& worker_;
+  StreamOptions options_;
+  std::deque<PendingTensor> queued_;
+  std::vector<PendingTensor> active_;
+  std::vector<std::int32_t> staging_in_;
+  std::vector<std::int32_t> staging_out_;
+  bool running_ = false;
+  std::size_t tensors_completed_ = 0;
+};
+
+} // namespace switchml::core

@@ -1,0 +1,32 @@
+#include "core/timing_stream.hpp"
+
+#include <stdexcept>
+
+namespace switchml::core {
+
+TimingStreamManager::TimingStreamManager(worker::Worker& worker) : worker_(worker) {
+  if (!worker.config().timing_only)
+    throw std::invalid_argument("TimingStreamManager requires a timing-only worker");
+}
+
+void TimingStreamManager::submit(std::uint64_t elems, std::function<void()> on_done) {
+  queued_.emplace_back(elems, std::move(on_done));
+  if (!running_) pump();
+}
+
+void TimingStreamManager::pump() {
+  if (queued_.empty()) {
+    running_ = false;
+    return;
+  }
+  running_ = true;
+  auto [elems, on_done] = std::move(queued_.front());
+  queued_.pop_front();
+  worker_.start_reduction(elems, [this, cb = std::move(on_done)] {
+    ++completed_;
+    if (cb) cb();
+    pump();
+  });
+}
+
+} // namespace switchml::core

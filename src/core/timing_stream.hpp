@@ -1,0 +1,38 @@
+// Timing-only counterpart of the StreamManager: queues tensor SIZES and runs
+// them through the worker protocol back to back, firing per-tensor
+// completions. Used by the framework-level training simulation, where the
+// gradient values don't matter but the wire time of every per-layer tensor
+// does.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "worker/worker.hpp"
+
+namespace switchml::core {
+
+class TimingStreamManager {
+public:
+  explicit TimingStreamManager(worker::Worker& worker);
+  TimingStreamManager(const TimingStreamManager&) = delete;
+  TimingStreamManager& operator=(const TimingStreamManager&) = delete;
+
+  // Queues a tensor of `elems` elements; starts immediately if idle.
+  // All workers of the job must submit identical sequences.
+  void submit(std::uint64_t elems, std::function<void()> on_done);
+
+  [[nodiscard]] bool idle() const { return !running_ && queued_.empty(); }
+  [[nodiscard]] std::size_t tensors_completed() const { return completed_; }
+
+private:
+  void pump();
+
+  worker::Worker& worker_;
+  std::deque<std::pair<std::uint64_t, std::function<void()>>> queued_;
+  bool running_ = false;
+  std::size_t completed_ = 0;
+};
+
+} // namespace switchml::core

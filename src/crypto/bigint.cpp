@@ -1,0 +1,383 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace switchml::crypto {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(v);
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_hex(const std::string& hex) {
+  BigInt r;
+  std::size_t start = 0;
+  if (hex.rfind("0x", 0) == 0) start = 2;
+  if (start >= hex.size()) throw std::invalid_argument("BigInt::from_hex: empty");
+  // Parse from the least-significant end, 16 hex digits per limb.
+  const std::string body = hex.substr(start);
+  for (std::size_t end = body.size(); end > 0;) {
+    const std::size_t chunk = std::min<std::size_t>(16, end);
+    const std::string part = body.substr(end - chunk, chunk);
+    r.limbs_.push_back(std::stoull(part, nullptr, 16));
+    end -= chunk;
+  }
+  r.trim();
+  return r;
+}
+
+std::string BigInt::to_hex() const {
+  if (limbs_.empty()) return "0";
+  std::string out;
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%llx", static_cast<unsigned long long>(limbs_.back()));
+  out += buf;
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(limbs_[i]));
+    out += buf;
+  }
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  const u64 top = limbs_.back();
+  return (limbs_.size() - 1) * 64 + (64 - static_cast<std::size_t>(__builtin_clzll(top)));
+}
+
+bool BigInt::bit(std::size_t i) const {
+  const std::size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size())
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) return limbs_[i] < other.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::add(const BigInt& other) const {
+  BigInt r;
+  const std::size_t n = std::max(limbs_.size(), other.limbs_.size());
+  r.limbs_.resize(n, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 a = i < limbs_.size() ? limbs_[i] : 0;
+    const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 sum = static_cast<u128>(a) + b + carry;
+    r.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  if (carry) r.limbs_.push_back(carry);
+  return r;
+}
+
+BigInt BigInt::sub(const BigInt& other) const {
+  if (*this < other) throw std::invalid_argument("BigInt::sub: would underflow");
+  BigInt r;
+  r.limbs_.resize(limbs_.size(), 0);
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    const u64 b = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    const u128 bb = static_cast<u128>(b) + borrow;
+    if (static_cast<u128>(limbs_[i]) >= bb) {
+      r.limbs_[i] = static_cast<u64>(static_cast<u128>(limbs_[i]) - bb);
+      borrow = 0;
+    } else {
+      r.limbs_[i] = static_cast<u64>((static_cast<u128>(1) << 64) + limbs_[i] - bb);
+      borrow = 1;
+    }
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::mul(const BigInt& other) const {
+  if (is_zero() || other.is_zero()) return BigInt();
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 carry = 0;
+    const u64 a = limbs_[i];
+    for (std::size_t j = 0; j < other.limbs_.size(); ++j) {
+      const u128 cur = static_cast<u128>(a) * other.limbs_[j] + r.limbs_[i + j] + carry;
+      r.limbs_[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    r.limbs_[i + other.limbs_.size()] += carry;
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::shifted_left(std::size_t bits) const {
+  if (is_zero()) return BigInt();
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    r.limbs_[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
+    if (bit_shift) r.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+BigInt BigInt::shifted_right(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const std::size_t bit_shift = bits % 64;
+  BigInt r;
+  r.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < r.limbs_.size(); ++i) {
+    r.limbs_[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift) : limbs_[i + limb_shift];
+    if (bit_shift && i + limb_shift + 1 < limbs_.size())
+      r.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+  }
+  r.trim();
+  return r;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& divisor) const {
+  if (divisor.is_zero()) throw std::invalid_argument("BigInt: division by zero");
+  if (*this < divisor) return {BigInt(), *this};
+  if (divisor.limbs_.size() == 1) {
+    // Fast single-limb path.
+    const u64 d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(limbs_.size(), 0);
+    u128 rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const u128 cur = (rem << 64) | limbs_[i];
+      q.limbs_[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt(static_cast<u64>(rem))};
+  }
+
+  // Knuth Algorithm D. Normalize so the divisor's top limb has its high bit
+  // set, which guarantees the quotient-digit estimate is off by at most 2.
+  const std::size_t shift =
+      static_cast<std::size_t>(__builtin_clzll(divisor.limbs_.back()));
+  const BigInt u = shifted_left(shift);
+  const BigInt v = divisor.shifted_left(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<u64> un(u.limbs_);
+  un.push_back(0); // u has m+n+1 limbs during the algorithm
+  const std::vector<u64>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q_hat from the top two limbs.
+    const u128 top = (static_cast<u128>(un[j + n]) << 64) | un[j + n - 1];
+    u128 q_hat = top / vn[n - 1];
+    u128 r_hat = top % vn[n - 1];
+    const u128 kBase = static_cast<u128>(1) << 64;
+    while (q_hat >= kBase ||
+           q_hat * vn[n - 2] > ((r_hat << 64) | un[j + n - 2])) {
+      --q_hat;
+      r_hat += vn[n - 1];
+      if (r_hat >= kBase) break;
+    }
+
+    // Multiply-and-subtract: un[j..j+n] -= q_hat * vn.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u128 prod = q_hat * vn[i] + carry;
+      carry = prod >> 64;
+      const u64 lo = static_cast<u64>(prod);
+      const u128 diff = static_cast<u128>(un[i + j]) - lo - borrow;
+      un[i + j] = static_cast<u64>(diff);
+      borrow = (diff >> 64) & 1; // 1 if wrapped
+    }
+    const u128 diff = static_cast<u128>(un[j + n]) - carry - borrow;
+    un[j + n] = static_cast<u64>(diff);
+    const bool negative = (diff >> 64) & 1;
+
+    if (negative) {
+      // q_hat was one too large: add back.
+      --q_hat;
+      u128 c = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u128 sum = static_cast<u128>(un[i + j]) + vn[i] + c;
+        un[i + j] = static_cast<u64>(sum);
+        c = sum >> 64;
+      }
+      un[j + n] = static_cast<u64>(un[j + n] + c);
+    }
+    q.limbs_[j] = static_cast<u64>(q_hat);
+  }
+  q.trim();
+
+  BigInt rem;
+  rem.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  rem.trim();
+  return {q, rem.shifted_right(shift)};
+}
+
+BigInt BigInt::mulmod(const BigInt& other, const BigInt& m) const {
+  return mul(other).mod(m);
+}
+
+BigInt BigInt::powmod(const BigInt& exponent, const BigInt& m) const {
+  if (m.is_zero()) throw std::invalid_argument("BigInt::powmod: zero modulus");
+  if (m == BigInt(1)) return BigInt();
+  BigInt result(1);
+  BigInt base = mod(m);
+  const std::size_t bits = exponent.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = result.mulmod(base, m);
+    base = base.mulmod(base, m);
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::lcm(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt();
+  return a.divmod(gcd(a, b)).quotient.mul(b);
+}
+
+BigInt BigInt::modinv(const BigInt& a, const BigInt& m) {
+  // Iterative extended Euclid with sign tracking: t may go negative.
+  BigInt r0 = m, r1 = a.mod(m);
+  BigInt t0, t1(1);
+  bool neg0 = false, neg1 = false;
+  while (!r1.is_zero()) {
+    const auto dm = r0.divmod(r1);
+    // t2 = t0 - q * t1 (signed)
+    const BigInt qt1 = dm.quotient.mul(t1);
+    BigInt t2;
+    bool neg2;
+    if (neg0 == neg1) {
+      // same sign: t0 - qt1 flips when qt1 > t0
+      if (t0 >= qt1) {
+        t2 = t0.sub(qt1);
+        neg2 = neg0;
+      } else {
+        t2 = qt1.sub(t0);
+        neg2 = !neg0;
+      }
+    } else {
+      t2 = t0.add(qt1);
+      neg2 = neg0;
+    }
+    r0 = std::move(r1);
+    r1 = dm.remainder;
+    t0 = std::move(t1);
+    neg0 = neg1;
+    t1 = std::move(t2);
+    neg1 = neg2;
+  }
+  if (r0 != BigInt(1)) throw std::invalid_argument("BigInt::modinv: not invertible");
+  if (neg0) return m.sub(t0.mod(m));
+  return t0.mod(m);
+}
+
+BigInt BigInt::random_bits(std::size_t bits, sim::Rng& rng) {
+  if (bits == 0) return BigInt();
+  BigInt r;
+  r.limbs_.resize((bits + 63) / 64);
+  for (auto& l : r.limbs_) l = rng.engine()();
+  const std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
+  // Mask to exactly `bits` bits and force the msb so the length is exact.
+  if (top_bits < 64) r.limbs_.back() &= (1ull << top_bits) - 1;
+  r.limbs_.back() |= 1ull << (top_bits - 1);
+  return r;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, sim::Rng& rng) {
+  if (bound.is_zero() || bound == BigInt(1))
+    throw std::invalid_argument("BigInt::random_below: bound too small");
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    BigInt candidate;
+    candidate.limbs_.resize((bits + 63) / 64);
+    for (auto& l : candidate.limbs_) l = rng.engine()();
+    const std::size_t top_bits = bits % 64 == 0 ? 64 : bits % 64;
+    if (top_bits < 64) candidate.limbs_.back() &= (1ull << top_bits) - 1;
+    candidate.trim();
+    if (!candidate.is_zero() && candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::is_probable_prime(sim::Rng& rng, int rounds) const {
+  if (limbs_.empty()) return false;
+  if (limbs_.size() == 1) {
+    const u64 v = limbs_[0];
+    if (v < 2) return false;
+    for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull}) {
+      if (v == p) return true;
+      if (v % p == 0) return false;
+    }
+  } else {
+    if (!is_odd()) return false;
+    for (u64 p : {3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull, 29ull, 31ull, 37ull,
+                  41ull, 43ull, 47ull})
+      if (mod(BigInt(p)).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^s.
+  const BigInt n_minus_1 = sub(BigInt(1));
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d.shifted_right(1);
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = random_below(n_minus_1, rng);
+    if (a < BigInt(2)) continue;
+    BigInt x = a.powmod(d, *this);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = x.mulmod(x, *this);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::random_prime(std::size_t bits, sim::Rng& rng) {
+  if (bits < 3) throw std::invalid_argument("BigInt::random_prime: need >= 3 bits");
+  for (;;) {
+    BigInt candidate = random_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = candidate.add(BigInt(1));
+    if (candidate.bit_length() != bits) continue;
+    if (candidate.is_probable_prime(rng, 30)) return candidate;
+  }
+}
+
+} // namespace switchml::crypto

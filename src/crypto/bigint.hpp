@@ -1,0 +1,90 @@
+// Arbitrary-precision unsigned integers, built from scratch for the
+// Appendix D encrypted-aggregation substrate (Paillier needs modular
+// exponentiation over 1-2 kbit moduli). Little-endian base-2^64 limbs,
+// schoolbook multiplication, Knuth Algorithm D division, square-and-multiply
+// modular exponentiation, extended Euclid inverses, and Miller-Rabin
+// primality testing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace switchml::crypto {
+
+class BigInt;
+
+// Quotient and remainder of a division.
+struct BigIntDivMod;
+
+class BigInt {
+public:
+  BigInt() = default;
+  BigInt(std::uint64_t v); // NOLINT(google-explicit-constructor) numeric literal ergonomics
+
+  static BigInt from_hex(const std::string& hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  [[nodiscard]] std::size_t bit_length() const;
+  [[nodiscard]] bool bit(std::size_t i) const;
+  // Value of the low 64 bits (for small results).
+  [[nodiscard]] std::uint64_t low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+  [[nodiscard]] int compare(const BigInt& other) const; // -1 / 0 / +1
+
+  friend bool operator==(const BigInt& a, const BigInt& b) { return a.compare(b) == 0; }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return a.compare(b) != 0; }
+  friend bool operator<(const BigInt& a, const BigInt& b) { return a.compare(b) < 0; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return a.compare(b) <= 0; }
+  friend bool operator>(const BigInt& a, const BigInt& b) { return a.compare(b) > 0; }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return a.compare(b) >= 0; }
+
+  [[nodiscard]] BigInt add(const BigInt& other) const;
+  // Requires *this >= other.
+  [[nodiscard]] BigInt sub(const BigInt& other) const;
+  [[nodiscard]] BigInt mul(const BigInt& other) const;
+  // Quotient and remainder; throws on division by zero.
+  [[nodiscard]] BigIntDivMod divmod(const BigInt& divisor) const;
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+
+  [[nodiscard]] BigInt shifted_left(std::size_t bits) const;
+  [[nodiscard]] BigInt shifted_right(std::size_t bits) const;
+
+  // (this * other) mod m and this^e mod m.
+  [[nodiscard]] BigInt mulmod(const BigInt& other, const BigInt& m) const;
+  [[nodiscard]] BigInt powmod(const BigInt& exponent, const BigInt& m) const;
+
+  static BigInt gcd(BigInt a, BigInt b);
+  static BigInt lcm(const BigInt& a, const BigInt& b);
+  // Modular inverse via extended Euclid; throws if gcd(a, m) != 1.
+  static BigInt modinv(const BigInt& a, const BigInt& m);
+
+  // Uniform random integer with exactly `bits` bits (msb set).
+  static BigInt random_bits(std::size_t bits, sim::Rng& rng);
+  // Uniform random integer in [1, bound).
+  static BigInt random_below(const BigInt& bound, sim::Rng& rng);
+
+  // Miller-Rabin with `rounds` random bases.
+  [[nodiscard]] bool is_probable_prime(sim::Rng& rng, int rounds = 40) const;
+  // Random prime with exactly `bits` bits.
+  static BigInt random_prime(std::size_t bits, sim::Rng& rng);
+
+private:
+  void trim();
+  [[nodiscard]] std::size_t n_limbs() const { return limbs_.size(); }
+
+  std::vector<std::uint64_t> limbs_; // little-endian; empty == 0
+};
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+inline BigInt BigInt::mod(const BigInt& m) const { return divmod(m).remainder; }
+
+} // namespace switchml::crypto

@@ -1,0 +1,78 @@
+#include "crypto/paillier.hpp"
+
+#include <stdexcept>
+
+namespace switchml::crypto {
+
+BigInt PaillierPublicKey::encrypt(const BigInt& m, sim::Rng& rng) const {
+  if (m >= n) throw std::invalid_argument("Paillier: plaintext out of range");
+  // r uniform in [1, n) with gcd(r, n) = 1 (overwhelmingly likely; retry).
+  BigInt r = BigInt::random_below(n, rng);
+  while (BigInt::gcd(r, n) != BigInt(1)) r = BigInt::random_below(n, rng);
+  // g = n + 1 shortcut: g^m mod n^2 = 1 + m n (mod n^2).
+  const BigInt g_m = BigInt(1).add(m.mul(n)).mod(n_squared);
+  const BigInt r_n = r.powmod(n, n_squared);
+  return g_m.mulmod(r_n, n_squared);
+}
+
+BigInt PaillierPublicKey::encrypt_signed(std::int64_t m, sim::Rng& rng) const {
+  if (m >= 0) return encrypt(BigInt(static_cast<std::uint64_t>(m)), rng);
+  return encrypt(n.sub(BigInt(static_cast<std::uint64_t>(-m))), rng);
+}
+
+BigInt PaillierPublicKey::add_ciphertexts(const BigInt& c1, const BigInt& c2) const {
+  return c1.mulmod(c2, n_squared);
+}
+
+BigInt PaillierPublicKey::scale_ciphertext(const BigInt& c, const BigInt& k) const {
+  return c.powmod(k, n_squared);
+}
+
+BigInt PaillierPrivateKey::decrypt(const BigInt& c, const PaillierPublicKey& pub) const {
+  const BigInt u = c.powmod(lambda, pub.n_squared);
+  // L(u) = (u - 1) / n
+  const BigInt l = u.sub(BigInt(1)).divmod(pub.n).quotient;
+  return l.mulmod(mu, pub.n);
+}
+
+std::int64_t PaillierPrivateKey::decrypt_signed(const BigInt& c,
+                                                const PaillierPublicKey& pub) const {
+  const BigInt m = decrypt(c, pub);
+  const BigInt half = pub.n.shifted_right(1);
+  if (m > half) {
+    const BigInt neg = pub.n.sub(m);
+    return -static_cast<std::int64_t>(neg.low64());
+  }
+  return static_cast<std::int64_t>(m.low64());
+}
+
+PaillierKeyPair paillier_keygen(std::size_t modulus_bits, sim::Rng& rng) {
+  if (modulus_bits < 16) throw std::invalid_argument("paillier_keygen: modulus too small");
+  const std::size_t prime_bits = modulus_bits / 2;
+  BigInt p = BigInt::random_prime(prime_bits, rng);
+  BigInt q = BigInt::random_prime(prime_bits, rng);
+  while (q == p) q = BigInt::random_prime(prime_bits, rng);
+
+  PaillierKeyPair kp;
+  kp.pub.n = p.mul(q);
+  kp.pub.n_squared = kp.pub.n.mul(kp.pub.n);
+  kp.priv.lambda = BigInt::lcm(p.sub(BigInt(1)), q.sub(BigInt(1)));
+  // With g = n + 1: mu = lambda^-1 mod n.
+  kp.priv.mu = BigInt::modinv(kp.priv.lambda, kp.pub.n);
+  return kp;
+}
+
+void EncryptedAggregator::accumulate(std::vector<BigInt>& acc,
+                                     const std::vector<BigInt>& update) const {
+  if (acc.size() != update.size())
+    throw std::invalid_argument("EncryptedAggregator: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i] = pub_.add_ciphertexts(acc[i], update[i]);
+}
+
+std::vector<BigInt> EncryptedAggregator::zero(std::size_t d) const {
+  // E(0) with r = 1 is exactly 1; multiplying by it is the identity.
+  return std::vector<BigInt>(d, BigInt(1));
+}
+
+} // namespace switchml::crypto

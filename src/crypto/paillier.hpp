@@ -1,0 +1,79 @@
+// Paillier additively homomorphic cryptosystem (Appendix D).
+//
+// The paper observes that although arbitrary computation over encrypted
+// traffic is beyond a switch, the aggregation SwitchML needs is plain
+// integer addition — and for several partially homomorphic cryptosystems
+// E(x) * E(y) = E(x + y), so a device capable of modular multiplication
+// could aggregate ciphertexts. This module provides the cryptosystem and the
+// aggregation primitive; examples/encrypted_aggregation drives the full
+// quantize -> encrypt -> multiply-aggregate -> decrypt pipeline.
+//
+// Standard construction with g = n + 1:
+//   keygen: p, q primes, n = pq, lambda = lcm(p-1, q-1), mu = lambda^-1 mod n
+//   encrypt(m): c = (1 + m n) * r^n mod n^2, random r in Z*_n
+//   decrypt(c): m = L(c^lambda mod n^2) * mu mod n, with L(u) = (u - 1) / n
+//   E(a) * E(b) mod n^2 = E(a + b mod n)
+//
+// Signed gradients are encoded into Z_n by wraparound (x < 0 -> n + x) and
+// decoded by centering, so quantized model updates sum correctly as long as
+// |sum| < n/2 — trivially true for int32 updates and >= 64-bit n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.hpp"
+
+namespace switchml::crypto {
+
+struct PaillierPublicKey {
+  BigInt n;
+  BigInt n_squared;
+
+  // E(m) with fresh randomness from `rng`.
+  [[nodiscard]] BigInt encrypt(const BigInt& m, sim::Rng& rng) const;
+  // Signed-plaintext convenience (wraparound encoding).
+  [[nodiscard]] BigInt encrypt_signed(std::int64_t m, sim::Rng& rng) const;
+
+  // The in-network aggregation primitive: E(a) * E(b) mod n^2 = E(a + b).
+  [[nodiscard]] BigInt add_ciphertexts(const BigInt& c1, const BigInt& c2) const;
+  // Scalar multiply: E(m)^k = E(k m) (useful for weighted averaging).
+  [[nodiscard]] BigInt scale_ciphertext(const BigInt& c, const BigInt& k) const;
+};
+
+struct PaillierPrivateKey {
+  BigInt lambda;
+  BigInt mu;
+
+  [[nodiscard]] BigInt decrypt(const BigInt& c, const PaillierPublicKey& pub) const;
+  [[nodiscard]] std::int64_t decrypt_signed(const BigInt& c,
+                                            const PaillierPublicKey& pub) const;
+};
+
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+// Generates a key with an n of roughly `modulus_bits` bits.
+PaillierKeyPair paillier_keygen(std::size_t modulus_bits, sim::Rng& rng);
+
+// Host-side "parameter aggregator" for ciphertext vectors: the operation a
+// modular-multiply-capable dataplane would perform per packet (Appendix D).
+class EncryptedAggregator {
+public:
+  explicit EncryptedAggregator(PaillierPublicKey pub) : pub_(std::move(pub)) {}
+
+  // acc[i] <- acc[i] * update[i] mod n^2  (== E(acc_plain + update_plain))
+  void accumulate(std::vector<BigInt>& acc, const std::vector<BigInt>& update) const;
+
+  // Fresh accumulator holding E(0) entries (encrypted with fixed r=1, which
+  // is fine for an accumulator that is immediately multiplied by real
+  // ciphertexts).
+  [[nodiscard]] std::vector<BigInt> zero(std::size_t d) const;
+
+private:
+  PaillierPublicKey pub_;
+};
+
+} // namespace switchml::crypto

@@ -1,0 +1,62 @@
+#include "framework/layer_model.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace switchml::framework {
+
+namespace {
+
+bool classifier_heavy(const std::string& name) {
+  return name.rfind("vgg", 0) == 0 || name == "alexnet";
+}
+
+} // namespace
+
+std::vector<Layer> synthesize_layers(const perf::ModelSpec& spec) {
+  const int n = spec.n_tensors;
+  if (n < 1) throw std::invalid_argument("synthesize_layers: model has no tensors");
+  std::vector<double> param_w(static_cast<std::size_t>(n));
+  std::vector<double> bwd_w(static_cast<std::size_t>(n));
+
+  if (classifier_heavy(spec.name) && n >= 6) {
+    // Last three layers are the fully-connected classifier holding ~88% of
+    // the parameters but only a few percent of the (convolution-dominated)
+    // backward compute; early conv layers do the most compute (largest
+    // spatial maps) with the fewest parameters.
+    for (int i = 0; i < n; ++i) {
+      const bool fc = i >= n - 3;
+      param_w[static_cast<std::size_t>(i)] = fc ? 0.88 / 3.0 : 0.12 / (n - 3);
+      bwd_w[static_cast<std::size_t>(i)] =
+          fc ? 0.05 / 3.0 : 0.95 * static_cast<double>(n - i) / 1.0;
+    }
+  } else {
+    // Conv-tower families: parameters grow with depth (later layers are
+    // wider); compute is roughly uniform per layer.
+    for (int i = 0; i < n; ++i) {
+      param_w[static_cast<std::size_t>(i)] = std::pow(static_cast<double>(i + 1), 1.2);
+      bwd_w[static_cast<std::size_t>(i)] = 1.0;
+    }
+  }
+
+  const double param_total = std::accumulate(param_w.begin(), param_w.end(), 0.0);
+  const double bwd_total = std::accumulate(bwd_w.begin(), bwd_w.end(), 0.0);
+
+  std::vector<Layer> layers(static_cast<std::size_t>(n));
+  std::uint64_t assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    auto& l = layers[static_cast<std::size_t>(i)];
+    l.name = spec.name + ".layer" + std::to_string(i);
+    l.bwd_share = bwd_w[static_cast<std::size_t>(i)] / bwd_total;
+    l.params = static_cast<std::uint64_t>(
+        static_cast<double>(spec.parameters) * param_w[static_cast<std::size_t>(i)] /
+        param_total);
+    assigned += l.params;
+  }
+  // Put the rounding remainder in the last layer so totals match exactly.
+  layers.back().params += spec.parameters - assigned;
+  return layers;
+}
+
+} // namespace switchml::framework

@@ -1,0 +1,40 @@
+// Layer-level model descriptions for the event-driven training simulation.
+//
+// Frameworks emit one gradient tensor per layer, in REVERSE layer order
+// during back-propagation (§4: "communication can start on the output
+// layer's gradients while the other gradients are still being computed").
+// How much communication that overlap hides depends on where the parameters
+// sit relative to the compute:
+//
+//   * VGG/AlexNet concentrate ~85-90% of their parameters in the last few
+//     fully-connected layers — produced FIRST by backprop, but their transfer
+//     dwarfs the remaining backward compute, so most of it is exposed;
+//   * ResNet/Inception/GoogLeNet spread parameters across many convolutional
+//     layers whose individual tensors are small relative to the compute that
+//     follows them, so communication hides well.
+//
+// synthesize_layers() encodes those architectural shapes so the simulation
+// reproduces the paper's per-model speedup ordering from first principles
+// (no per-model overlap knob).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "perfmodel/model_zoo.hpp"
+
+namespace switchml::framework {
+
+struct Layer {
+  std::string name;
+  std::uint64_t params;   // gradient elements this layer contributes
+  double bwd_share;       // fraction of the iteration's backward compute
+};
+
+// Splits spec.parameters over spec.n_tensors layers with the architecture
+// family's parameter/compute distribution. The shares sum to 1 and the
+// params sum to spec.parameters exactly.
+std::vector<Layer> synthesize_layers(const perf::ModelSpec& spec);
+
+} // namespace switchml::framework

@@ -1,0 +1,74 @@
+#include "ml/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace switchml::ml {
+
+Dataset make_blobs(std::size_t n, int input_dim, int n_classes, double separation,
+                   double noise_sigma, sim::Rng& rng) {
+  if (input_dim < 1 || n_classes < 2) throw std::invalid_argument("make_blobs: bad dims");
+  Dataset d;
+  d.input_dim = input_dim;
+  d.n_classes = n_classes;
+  d.X.resize(n * static_cast<std::size_t>(input_dim));
+  d.y.resize(n);
+
+  // Random unit-norm class centers, scaled by `separation`.
+  std::vector<float> centers(static_cast<std::size_t>(n_classes) * input_dim);
+  for (int c = 0; c < n_classes; ++c) {
+    double norm = 0.0;
+    for (int i = 0; i < input_dim; ++i) {
+      const double v = rng.normal(0.0, 1.0);
+      centers[static_cast<std::size_t>(c) * input_dim + i] = static_cast<float>(v);
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (int i = 0; i < input_dim; ++i)
+      centers[static_cast<std::size_t>(c) * input_dim + i] =
+          static_cast<float>(centers[static_cast<std::size_t>(c) * input_dim + i] / norm *
+                             separation);
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    const int c = static_cast<int>(rng.uniform_int(0, n_classes - 1));
+    d.y[s] = c;
+    for (int i = 0; i < input_dim; ++i)
+      d.X[s * static_cast<std::size_t>(input_dim) + i] =
+          centers[static_cast<std::size_t>(c) * input_dim + i] +
+          static_cast<float>(rng.normal(0.0, noise_sigma));
+  }
+  return d;
+}
+
+std::pair<Dataset, Dataset> split(const Dataset& d, double train_fraction) {
+  if (train_fraction <= 0 || train_fraction >= 1) throw std::invalid_argument("split: fraction");
+  const std::size_t n_train = static_cast<std::size_t>(static_cast<double>(d.size()) * train_fraction);
+  Dataset a, b;
+  a.input_dim = b.input_dim = d.input_dim;
+  a.n_classes = b.n_classes = d.n_classes;
+  const std::size_t dim = static_cast<std::size_t>(d.input_dim);
+  a.X.assign(d.X.begin(), d.X.begin() + static_cast<std::ptrdiff_t>(n_train * dim));
+  a.y.assign(d.y.begin(), d.y.begin() + static_cast<std::ptrdiff_t>(n_train));
+  b.X.assign(d.X.begin() + static_cast<std::ptrdiff_t>(n_train * dim), d.X.end());
+  b.y.assign(d.y.begin() + static_cast<std::ptrdiff_t>(n_train), d.y.end());
+  return {std::move(a), std::move(b)};
+}
+
+Dataset shard(const Dataset& d, int worker, int n_workers) {
+  if (worker < 0 || worker >= n_workers) throw std::invalid_argument("shard: bad worker index");
+  const std::size_t per = d.size() / static_cast<std::size_t>(n_workers);
+  const std::size_t lo = per * static_cast<std::size_t>(worker);
+  const std::size_t hi = worker == n_workers - 1 ? d.size() : lo + per;
+  Dataset s;
+  s.input_dim = d.input_dim;
+  s.n_classes = d.n_classes;
+  const std::size_t dim = static_cast<std::size_t>(d.input_dim);
+  s.X.assign(d.X.begin() + static_cast<std::ptrdiff_t>(lo * dim),
+             d.X.begin() + static_cast<std::ptrdiff_t>(hi * dim));
+  s.y.assign(d.y.begin() + static_cast<std::ptrdiff_t>(lo),
+             d.y.begin() + static_cast<std::ptrdiff_t>(hi));
+  return s;
+}
+
+} // namespace switchml::ml

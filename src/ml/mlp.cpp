@@ -1,0 +1,178 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace switchml::ml {
+
+Mlp::Mlp(int input_dim, int hidden_dim, int n_classes, sim::Rng& rng)
+    : d_in_(input_dim), d_hidden_(hidden_dim), d_out_(n_classes) {
+  if (input_dim < 1 || hidden_dim < 1 || n_classes < 2)
+    throw std::invalid_argument("Mlp: invalid dimensions");
+  const std::size_t n = static_cast<std::size_t>(d_in_) * d_hidden_ + d_hidden_ +
+                        static_cast<std::size_t>(d_hidden_) * d_out_ + d_out_;
+  params_.resize(n);
+  // He initialization for the ReLU layer, Xavier-ish for the output layer.
+  auto mv = views();
+  const double s1 = std::sqrt(2.0 / d_in_);
+  const double s2 = std::sqrt(1.0 / d_hidden_);
+  for (auto& w : mv.w1) w = static_cast<float>(rng.normal(0.0, s1));
+  for (auto& b : mv.b1) b = 0.0f;
+  for (auto& w : mv.w2) w = static_cast<float>(rng.normal(0.0, s2));
+  for (auto& b : mv.b2) b = 0.0f;
+}
+
+Mlp::Views Mlp::views() const {
+  const auto* p = params_.data();
+  const std::size_t n_w1 = static_cast<std::size_t>(d_in_) * d_hidden_;
+  const std::size_t n_w2 = static_cast<std::size_t>(d_hidden_) * d_out_;
+  return Views{
+      {p, n_w1},
+      {p + n_w1, static_cast<std::size_t>(d_hidden_)},
+      {p + n_w1 + d_hidden_, n_w2},
+      {p + n_w1 + d_hidden_ + n_w2, static_cast<std::size_t>(d_out_)},
+  };
+}
+
+Mlp::MutViews Mlp::views() {
+  auto* p = params_.data();
+  const std::size_t n_w1 = static_cast<std::size_t>(d_in_) * d_hidden_;
+  const std::size_t n_w2 = static_cast<std::size_t>(d_hidden_) * d_out_;
+  return MutViews{
+      {p, n_w1},
+      {p + n_w1, static_cast<std::size_t>(d_hidden_)},
+      {p + n_w1 + d_hidden_, n_w2},
+      {p + n_w1 + d_hidden_ + n_w2, static_cast<std::size_t>(d_out_)},
+  };
+}
+
+double Mlp::loss_and_gradient(std::span<const float> X, std::span<const int> y,
+                              std::span<float> grad) const {
+  const std::size_t batch = y.size();
+  if (X.size() != batch * static_cast<std::size_t>(d_in_))
+    throw std::invalid_argument("Mlp: X size mismatch");
+  if (grad.size() != params_.size()) throw std::invalid_argument("Mlp: grad size mismatch");
+  std::fill(grad.begin(), grad.end(), 0.0f);
+
+  const auto v = views();
+  const std::size_t n_w1 = v.w1.size();
+  const std::size_t n_w2 = v.w2.size();
+  std::span<float> g_w1(grad.data(), n_w1);
+  std::span<float> g_b1(grad.data() + n_w1, static_cast<std::size_t>(d_hidden_));
+  std::span<float> g_w2(grad.data() + n_w1 + d_hidden_, n_w2);
+  std::span<float> g_b2(grad.data() + n_w1 + d_hidden_ + n_w2, static_cast<std::size_t>(d_out_));
+
+  std::vector<float> h(static_cast<std::size_t>(d_hidden_));
+  std::vector<float> logits(static_cast<std::size_t>(d_out_));
+  std::vector<float> probs(static_cast<std::size_t>(d_out_));
+  std::vector<float> dh(static_cast<std::size_t>(d_hidden_));
+
+  double total_loss = 0.0;
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* x = X.data() + b * static_cast<std::size_t>(d_in_);
+    // forward: hidden = relu(x W1 + b1)
+    for (int j = 0; j < d_hidden_; ++j) {
+      float z = v.b1[static_cast<std::size_t>(j)];
+      for (int i = 0; i < d_in_; ++i)
+        z += x[i] * v.w1[static_cast<std::size_t>(i) * d_hidden_ + j];
+      h[static_cast<std::size_t>(j)] = z > 0.0f ? z : 0.0f;
+    }
+    // logits = h W2 + b2
+    float max_logit = -1e30f;
+    for (int c = 0; c < d_out_; ++c) {
+      float z = v.b2[static_cast<std::size_t>(c)];
+      for (int j = 0; j < d_hidden_; ++j)
+        z += h[static_cast<std::size_t>(j)] * v.w2[static_cast<std::size_t>(j) * d_out_ + c];
+      logits[static_cast<std::size_t>(c)] = z;
+      max_logit = std::max(max_logit, z);
+    }
+    // softmax + CE
+    double denom = 0.0;
+    for (int c = 0; c < d_out_; ++c)
+      denom += std::exp(static_cast<double>(logits[static_cast<std::size_t>(c)] - max_logit));
+    const int label = y[b];
+    if (label < 0 || label >= d_out_) throw std::invalid_argument("Mlp: label out of range");
+    for (int c = 0; c < d_out_; ++c)
+      probs[static_cast<std::size_t>(c)] = static_cast<float>(
+          std::exp(static_cast<double>(logits[static_cast<std::size_t>(c)] - max_logit)) / denom);
+    total_loss -= std::log(std::max(1e-12, static_cast<double>(probs[static_cast<std::size_t>(label)])));
+
+    // backward
+    // dlogits = probs - onehot(label)
+    for (int c = 0; c < d_out_; ++c) {
+      const float dl = (probs[static_cast<std::size_t>(c)] - (c == label ? 1.0f : 0.0f)) *
+                       static_cast<float>(inv_batch);
+      g_b2[static_cast<std::size_t>(c)] += dl;
+      for (int j = 0; j < d_hidden_; ++j)
+        g_w2[static_cast<std::size_t>(j) * d_out_ + c] += h[static_cast<std::size_t>(j)] * dl;
+    }
+    for (int j = 0; j < d_hidden_; ++j) {
+      if (h[static_cast<std::size_t>(j)] <= 0.0f) {
+        dh[static_cast<std::size_t>(j)] = 0.0f;
+        continue;
+      }
+      float acc = 0.0f;
+      for (int c = 0; c < d_out_; ++c)
+        acc += (probs[static_cast<std::size_t>(c)] - (c == y[b] ? 1.0f : 0.0f)) *
+               v.w2[static_cast<std::size_t>(j) * d_out_ + c];
+      dh[static_cast<std::size_t>(j)] = acc * static_cast<float>(inv_batch);
+    }
+    for (int j = 0; j < d_hidden_; ++j) {
+      const float d = dh[static_cast<std::size_t>(j)];
+      if (d == 0.0f) continue;
+      g_b1[static_cast<std::size_t>(j)] += d;
+      for (int i = 0; i < d_in_; ++i)
+        g_w1[static_cast<std::size_t>(i) * d_hidden_ + j] += x[i] * d;
+    }
+  }
+  return total_loss * inv_batch;
+}
+
+void Mlp::predict(std::span<const float> X, std::span<int> out) const {
+  const std::size_t batch = out.size();
+  if (X.size() != batch * static_cast<std::size_t>(d_in_))
+    throw std::invalid_argument("Mlp: X size mismatch");
+  const auto v = views();
+  std::vector<float> h(static_cast<std::size_t>(d_hidden_));
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* x = X.data() + b * static_cast<std::size_t>(d_in_);
+    for (int j = 0; j < d_hidden_; ++j) {
+      float z = v.b1[static_cast<std::size_t>(j)];
+      for (int i = 0; i < d_in_; ++i)
+        z += x[i] * v.w1[static_cast<std::size_t>(i) * d_hidden_ + j];
+      h[static_cast<std::size_t>(j)] = z > 0.0f ? z : 0.0f;
+    }
+    int best = 0;
+    float best_z = -1e30f;
+    for (int c = 0; c < d_out_; ++c) {
+      float z = v.b2[static_cast<std::size_t>(c)];
+      for (int j = 0; j < d_hidden_; ++j)
+        z += h[static_cast<std::size_t>(j)] * v.w2[static_cast<std::size_t>(j) * d_out_ + c];
+      if (z > best_z) {
+        best_z = z;
+        best = c;
+      }
+    }
+    out[b] = best;
+  }
+}
+
+double Mlp::accuracy(std::span<const float> X, std::span<const int> y) const {
+  std::vector<int> pred(y.size());
+  predict(X, pred);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (pred[i] == y[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(y.size());
+}
+
+void Mlp::apply_gradient(std::span<const float> grad, double lr) {
+  if (grad.size() != params_.size()) throw std::invalid_argument("Mlp: grad size mismatch");
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    params_[i] -= static_cast<float>(lr * static_cast<double>(grad[i]));
+}
+
+} // namespace switchml::ml

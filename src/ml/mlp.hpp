@@ -1,0 +1,58 @@
+// Minimal neural-network substrate used to validate the quantization scheme
+// end to end (Appendix C / Fig 10): a two-layer MLP with ReLU and
+// softmax-cross-entropy, trained by synchronous data-parallel SGD where the
+// gradient exchange goes through the SwitchML quantize/aggregate/dequantize
+// path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace switchml::ml {
+
+class Mlp {
+public:
+  Mlp(int input_dim, int hidden_dim, int n_classes, sim::Rng& rng);
+
+  [[nodiscard]] int input_dim() const { return d_in_; }
+  [[nodiscard]] int n_classes() const { return d_out_; }
+  [[nodiscard]] std::size_t n_params() const { return params_.size(); }
+
+  [[nodiscard]] std::span<float> params() { return params_; }
+  [[nodiscard]] std::span<const float> params() const { return params_; }
+
+  // Computes the average cross-entropy loss over the batch and writes the
+  // gradient d(loss)/d(params) into `grad` (same layout as params()).
+  // X is row-major [batch x input_dim].
+  double loss_and_gradient(std::span<const float> X, std::span<const int> y,
+                           std::span<float> grad) const;
+
+  // Argmax class predictions for a batch.
+  void predict(std::span<const float> X, std::span<int> out) const;
+
+  // Fraction of correct predictions.
+  double accuracy(std::span<const float> X, std::span<const int> y) const;
+
+  // params -= lr * grad
+  void apply_gradient(std::span<const float> grad, double lr);
+
+private:
+  struct Views {
+    std::span<const float> w1, b1, w2, b2;
+  };
+  struct MutViews {
+    std::span<float> w1, b1, w2, b2;
+  };
+  [[nodiscard]] Views views() const;
+  [[nodiscard]] MutViews views();
+
+  int d_in_;
+  int d_hidden_;
+  int d_out_;
+  std::vector<float> params_; // [W1 | b1 | W2 | b2]
+};
+
+} // namespace switchml::ml

@@ -1,0 +1,112 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "quant/fixed_point.hpp"
+
+namespace switchml::ml {
+
+void ExactAggregator::aggregate(const std::vector<std::vector<float>>& grads,
+                                std::vector<float>& out) {
+  out.assign(grads.front().size(), 0.0f);
+  for (const auto& g : grads)
+    for (std::size_t i = 0; i < g.size(); ++i) out[i] += g[i];
+}
+
+void QuantizedAggregator::aggregate(const std::vector<std::vector<float>>& grads,
+                                    std::vector<float>& out) {
+  const std::size_t d = grads.front().size();
+  std::vector<std::int32_t> acc(d, 0);
+  std::vector<std::int32_t> q(d);
+  for (const auto& g : grads) {
+    quant::quantize(g, f_, q);
+    quant::accumulate_wrapping(acc, q); // switch ALU semantics: wraparound
+  }
+  out.resize(d);
+  quant::dequantize(acc, f_, out);
+}
+
+void StochasticInt8Aggregator::aggregate(const std::vector<std::vector<float>>& grads,
+                                         std::vector<float>& out) {
+  const std::size_t d = grads.front().size();
+  float max_abs = 0.0f;
+  for (const auto& g : grads)
+    for (float v : g) max_abs = std::max(max_abs, std::abs(v));
+  const double f = quant::max_safe_scaling_factor_i8(std::max(max_abs, 1e-12f));
+
+  std::vector<std::int32_t> acc(d, 0);
+  std::vector<std::int32_t> q(d);
+  for (const auto& g : grads) {
+    quant::quantize_i8_stochastic(g, f, q, rng_);
+    quant::accumulate_wrapping(acc, q);
+  }
+  out.resize(d);
+  quant::dequantize(acc, f, out);
+}
+
+DataParallelTrainer::DataParallelTrainer(const Dataset& train, const Dataset& test,
+                                         TrainerConfig config)
+    : train_(train),
+      test_(test),
+      config_(config),
+      rng_(sim::Rng::stream(config.seed, "trainer")) {
+  if (config.n_workers < 1) throw std::invalid_argument("DataParallelTrainer: n_workers");
+  model_ = std::make_unique<Mlp>(train.input_dim, config.hidden_dim, train.n_classes, rng_);
+  for (int w = 0; w < config.n_workers; ++w) shards_.push_back(shard(train, w, config.n_workers));
+  cursor_.assign(static_cast<std::size_t>(config.n_workers), 0);
+}
+
+void DataParallelTrainer::next_batch(int worker, std::vector<float>& X, std::vector<int>& y) {
+  const auto& s = shards_[static_cast<std::size_t>(worker)];
+  const std::size_t dim = static_cast<std::size_t>(s.input_dim);
+  const int b = config_.batch_per_worker;
+  X.resize(static_cast<std::size_t>(b) * dim);
+  y.resize(static_cast<std::size_t>(b));
+  auto& cur = cursor_[static_cast<std::size_t>(worker)];
+  for (int i = 0; i < b; ++i) {
+    const std::size_t idx = cur;
+    cur = (cur + 1) % s.size();
+    std::copy(s.X.begin() + static_cast<std::ptrdiff_t>(idx * dim),
+              s.X.begin() + static_cast<std::ptrdiff_t>((idx + 1) * dim),
+              X.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(i) * dim));
+    y[static_cast<std::size_t>(i)] = s.y[idx];
+  }
+}
+
+TrainResult DataParallelTrainer::train(int iterations, Aggregator& aggregator) {
+  TrainResult result;
+  const std::size_t d = model_->n_params();
+  std::vector<std::vector<float>> grads(static_cast<std::size_t>(config_.n_workers),
+                                        std::vector<float>(d));
+  std::vector<float> sum(d);
+  std::vector<float> X;
+  std::vector<int> y;
+
+  for (int it = 0; it < iterations; ++it) {
+    double loss = 0.0;
+    for (int w = 0; w < config_.n_workers; ++w) {
+      next_batch(w, X, y);
+      loss += model_->loss_and_gradient(X, y, grads[static_cast<std::size_t>(w)]);
+      for (float g : grads[static_cast<std::size_t>(w)])
+        result.max_abs_gradient = std::max(result.max_abs_gradient, std::abs(g));
+    }
+    loss /= config_.n_workers;
+    result.loss_per_iter.push_back(loss);
+
+    aggregator.aggregate(grads, sum);
+    // Model averaging: the aggregate is the SUM of per-worker mean-batch
+    // gradients; divide by n so the step size is batch-size invariant.
+    model_->apply_gradient(sum, config_.lr / config_.n_workers);
+
+    // Bail out of clearly diverged runs (quantization overflow regimes).
+    if (!std::isfinite(loss) || loss > 1e6) break;
+  }
+
+  result.final_train_accuracy = model_->accuracy(train_.X, train_.y);
+  result.final_test_accuracy = model_->accuracy(test_.X, test_.y);
+  return result;
+}
+
+} // namespace switchml::ml

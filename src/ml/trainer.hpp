@@ -1,0 +1,102 @@
+// Synchronous data-parallel SGD trainer (§2.1): n worker replicas compute
+// gradients on disjoint mini-batches; the gradients are summed by a pluggable
+// aggregator and the averaged update is applied to every replica — exactly
+// the iteration x_{t+1} = x_t + sum_i Delta(x_t, D_i^t).
+//
+// Aggregators:
+//   * ExactAggregator      — float sums (the no-quantization reference);
+//   * QuantizedAggregator  — the SwitchML path: scale by f, round to int32,
+//     integer sum WITH two's-complement wraparound (switch ALU semantics),
+//     divide by f. Sweeping f reproduces Fig 10.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+
+namespace switchml::ml {
+
+class Aggregator {
+public:
+  virtual ~Aggregator() = default;
+  // Sums `grads[i]` across i into `out` (all same length).
+  virtual void aggregate(const std::vector<std::vector<float>>& grads,
+                         std::vector<float>& out) = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+class ExactAggregator final : public Aggregator {
+public:
+  void aggregate(const std::vector<std::vector<float>>& grads,
+                 std::vector<float>& out) override;
+  [[nodiscard]] const char* name() const override { return "exact"; }
+};
+
+class QuantizedAggregator final : public Aggregator {
+public:
+  explicit QuantizedAggregator(double scaling_factor) : f_(scaling_factor) {}
+  void aggregate(const std::vector<std::vector<float>>& grads,
+                 std::vector<float>& out) override;
+  [[nodiscard]] const char* name() const override { return "quantized"; }
+  [[nodiscard]] double scaling_factor() const { return f_; }
+
+private:
+  double f_;
+};
+
+// 8-bit extension: unbiased stochastic rounding with a per-iteration scaling
+// factor fit to the current gradient magnitude (the adaptive variant of the
+// compressors Appendix C surveys). 4x less wire traffic, more gradient
+// variance — SGD still converges because the quantizer is unbiased.
+class StochasticInt8Aggregator final : public Aggregator {
+public:
+  explicit StochasticInt8Aggregator(std::uint64_t seed)
+      : rng_(sim::Rng::stream(seed, "int8-agg")) {}
+  void aggregate(const std::vector<std::vector<float>>& grads,
+                 std::vector<float>& out) override;
+  [[nodiscard]] const char* name() const override { return "int8-stochastic"; }
+
+private:
+  sim::Rng rng_;
+};
+
+struct TrainerConfig {
+  int n_workers = 8;
+  int hidden_dim = 64;
+  int batch_per_worker = 16;
+  double lr = 0.05;
+  std::uint64_t seed = 7;
+};
+
+struct TrainResult {
+  std::vector<double> loss_per_iter;
+  double final_train_accuracy = 0.0;
+  double final_test_accuracy = 0.0;
+  float max_abs_gradient = 0.0f; // profiled over the run (for choosing f)
+};
+
+class DataParallelTrainer {
+public:
+  DataParallelTrainer(const Dataset& train, const Dataset& test, TrainerConfig config);
+
+  // Runs `iterations` synchronous SGD steps with the given aggregator.
+  TrainResult train(int iterations, Aggregator& aggregator);
+
+  [[nodiscard]] const Mlp& model() const { return *model_; }
+
+private:
+  void next_batch(int worker, std::vector<float>& X, std::vector<int>& y);
+
+  const Dataset& train_;
+  const Dataset& test_;
+  TrainerConfig config_;
+  sim::Rng rng_;
+  std::unique_ptr<Mlp> model_; // one replica: synchronous SGD keeps replicas identical
+  std::vector<Dataset> shards_;
+  std::vector<std::size_t> cursor_;
+};
+
+} // namespace switchml::ml

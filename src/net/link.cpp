@@ -1,0 +1,118 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace switchml::net {
+
+Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, int port_a,
+           Node& end_b, int port_b, std::uint64_t seed)
+    : sim_(simulation),
+      config_(config),
+      end_a_(&end_a),
+      end_b_(&end_b),
+      a_to_b_{&end_b, port_b, 0, 0, {}, {},
+              sim::Rng::stream(seed, end_a.name() + "->" + end_b.name())},
+      b_to_a_{&end_a, port_a, 0, 0, {}, {},
+              sim::Rng::stream(seed, end_b.name() + "->" + end_a.name())} {
+  if (config.rate <= 0) throw std::invalid_argument("Link rate must be positive");
+}
+
+Link::Direction& Link::direction_from(const Node& sender) {
+  if (&sender == end_a_) return a_to_b_;
+  if (&sender == end_b_) return b_to_a_;
+  throw std::invalid_argument("Link::send_from: sender is not an endpoint of this link");
+}
+
+const Link::Counters& Link::counters_from(const Node& sender) const {
+  if (&sender == end_a_) return a_to_b_.counters;
+  if (&sender == end_b_) return b_to_a_.counters;
+  throw std::invalid_argument("Link::counters_from: not an endpoint");
+}
+
+Node& Link::peer_of(const Node& n) {
+  if (&n == end_a_) return *end_b_;
+  if (&n == end_b_) return *end_a_;
+  throw std::invalid_argument("Link::peer_of: not an endpoint");
+}
+
+void Link::send_from(const Node& sender, Packet&& p, Time earliest_start) {
+  transmit(sender, direction_from(sender), std::move(p), earliest_start);
+}
+
+void Link::trace(TraceEventKind kind, const Node& from, const Node& to, const Packet& p) {
+  if (tracer_ == nullptr) return;
+  TraceEvent e;
+  e.at = sim_.now();
+  e.kind = kind;
+  e.from = from.id();
+  e.to = to.id();
+  e.pkt = p.kind;
+  e.wid = p.wid;
+  e.ver = p.ver;
+  e.idx = p.idx;
+  e.off = p.off;
+  e.wire_bytes = p.wire_bytes();
+  tracer_->record(e);
+}
+
+void Link::corrupt(Packet& p) {
+  // Flip one payload bit (or a header bit when there is no payload).
+  if (!p.values.empty())
+    p.values[p.values.size() / 2] ^= 0x10;
+  else
+    p.off ^= 0x1;
+}
+
+void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start) {
+  const Time now = sim_.now();
+  // Drain completed serializations from the lazy backlog ledger.
+  while (!dir.in_flight.empty() && dir.in_flight.front().first <= now) {
+    dir.backlog_bytes -= dir.in_flight.front().second;
+    dir.in_flight.pop_front();
+  }
+
+  const std::int64_t wire = p.wire_bytes();
+  Node& peer = *dir.to;
+  if (dir.backlog_bytes + wire > config_.queue_limit_bytes) {
+    ++dir.counters.dropped_queue;
+    trace(TraceEventKind::DropQueue, sender, peer, p);
+    return;
+  }
+  trace(TraceEventKind::Tx, sender, peer, p);
+
+  ++dir.counters.tx_packets;
+  dir.counters.tx_bytes += static_cast<std::uint64_t>(wire);
+
+  const Time start = std::max({now, earliest_start, dir.busy_until});
+  const Time finish = start + serialization_time(wire, config_.rate);
+  dir.busy_until = finish;
+  dir.backlog_bytes += wire;
+  dir.in_flight.emplace_back(finish, wire);
+
+  if (dir.rng.chance(config_.loss_prob) || (drop_filter_ && drop_filter_(sender, p))) {
+    ++dir.counters.dropped_loss;
+    trace(TraceEventKind::DropLoss, sender, peer, p);
+    return; // the bits left the port but never arrive
+  }
+
+  if (dir.rng.chance(corrupt_prob_) || (corrupt_filter_ && corrupt_filter_(sender, p))) {
+    corrupt(p);
+    trace(TraceEventKind::Corrupt, sender, peer, p);
+  }
+
+  Node* to = dir.to;
+  const int to_port = dir.to_port;
+  Counters* counters = &dir.counters;
+  const Node* from = &sender;
+  Link* self = this;
+  sim_.schedule_at(finish + config_.propagation,
+                   [self, from, to, to_port, counters, pkt = std::move(p)]() mutable {
+                     ++counters->delivered_packets;
+                     self->trace(TraceEventKind::Deliver, *from, *to, pkt);
+                     to->receive(std::move(pkt), to_port);
+                   });
+}
+
+} // namespace switchml::net

@@ -1,0 +1,103 @@
+// Full-duplex point-to-point link with per-direction rate, propagation delay,
+// finite drop-tail queue, and an optional Bernoulli loss process (used for
+// the paper's §5.5 packet-loss experiments).
+//
+// The serialization model keeps exactly one simulator event per delivered
+// packet: queue occupancy is tracked lazily with a deque of
+// (serialization-finish-time, bytes) records drained on each send.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/trace.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace switchml::net {
+
+struct LinkConfig {
+  BitsPerSecond rate = gbps(10);
+  Time propagation = nsec(500);
+  std::int64_t queue_limit_bytes = 2 * kMiB;
+  double loss_prob = 0.0;
+};
+
+class Link {
+public:
+  struct Counters {
+    std::uint64_t tx_packets = 0;
+    std::uint64_t tx_bytes = 0;
+    std::uint64_t delivered_packets = 0;
+    std::uint64_t dropped_queue = 0;
+    std::uint64_t dropped_loss = 0;
+  };
+
+  Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, int port_a,
+       Node& end_b, int port_b, std::uint64_t seed);
+
+  // Transmits `p` from `sender` (which must be one of the two endpoints).
+  // `earliest_start` lets upstream processing (NIC cores, switch pipeline)
+  // delay the moment the packet reaches the port without an extra event.
+  void send_from(const Node& sender, Packet&& p, Time earliest_start = 0);
+
+  [[nodiscard]] const Counters& counters_from(const Node& sender) const;
+  [[nodiscard]] const LinkConfig& config() const { return config_; }
+  void set_loss_prob(double p) { config_.loss_prob = p; }
+  // Degrades/changes the link rate mid-run (congestion & straggler
+  // experiments, §6 "Lack of congestion control").
+  void set_rate(BitsPerSecond rate) { config_.rate = rate; }
+
+  // Deterministic loss injection for tests and trace replay (e.g. the
+  // Appendix A execution): returns true to drop the packet. Applied in
+  // addition to the Bernoulli loss process.
+  using DropFilter = std::function<bool(const Node& sender, const Packet& p)>;
+  void set_drop_filter(DropFilter f) { drop_filter_ = std::move(f); }
+
+  // Bit-error injection: when the filter matches, a payload (or header) bit
+  // is flipped in flight, so the receiver's checksum verification fails
+  // (§3.4). The packet is still delivered — detection is the receiver's job.
+  void set_corrupt_filter(DropFilter f) { corrupt_filter_ = std::move(f); }
+  // Random bit-error rate per packet (applied like the loss process).
+  void set_corrupt_prob(double p) { corrupt_prob_ = p; }
+
+  // Attaches a tracer that records every TX/drop/corrupt/deliver event on
+  // this link (shared by both directions).
+  void set_tracer(Tracer* t) { tracer_ = t; }
+
+  [[nodiscard]] Node& peer_of(const Node& n);
+
+private:
+  struct Direction {
+    Node* to = nullptr;
+    int to_port = 0;
+    Time busy_until = 0;
+    std::int64_t backlog_bytes = 0;
+    std::deque<std::pair<Time, std::int64_t>> in_flight; // (finish, bytes)
+    Counters counters;
+    sim::Rng rng;
+  };
+
+  Direction& direction_from(const Node& sender);
+  void transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start);
+  static void corrupt(Packet& p);
+  void trace(TraceEventKind kind, const Node& from, const Node& to, const Packet& p);
+
+  DropFilter drop_filter_;
+  DropFilter corrupt_filter_;
+  double corrupt_prob_ = 0.0;
+  Tracer* tracer_ = nullptr;
+
+  sim::Simulation& sim_;
+  LinkConfig config_;
+  Node* end_a_;
+  Node* end_b_;
+  Direction a_to_b_;
+  Direction b_to_a_;
+};
+
+} // namespace switchml::net

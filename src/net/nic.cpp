@@ -1,0 +1,39 @@
+#include "net/nic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace switchml::net {
+
+HostNic::HostNic(sim::Simulation& simulation, const NicConfig& config)
+    : sim_(simulation), config_(config) {
+  if (config.cores < 1) throw std::invalid_argument("HostNic: cores must be >= 1");
+  if (config.batch_size < 1) throw std::invalid_argument("HostNic: batch_size must be >= 1");
+  busy_.assign(static_cast<std::size_t>(config.cores), 0);
+}
+
+Time HostNic::effective_cost(Time per_packet, double per_byte, std::int64_t bytes) const {
+  return per_packet + static_cast<Time>(per_byte * static_cast<double>(bytes)) +
+         config_.per_batch_overhead / config_.batch_size;
+}
+
+Time HostNic::occupy(int core, Time cost) {
+  auto& b = busy_.at(static_cast<std::size_t>(core));
+  const Time start = std::max(sim_.now(), b);
+  b = start + cost;
+  total_busy_ += cost;
+  return b;
+}
+
+Time HostNic::tx_ready(int core, std::int64_t wire_bytes) {
+  return occupy(core, effective_cost(config_.per_packet_tx, config_.per_byte_tx, wire_bytes)) +
+         config_.tx_latency;
+}
+
+void HostNic::rx_process(int core, std::int64_t wire_bytes, std::function<void()> deliver) {
+  const Time done =
+      occupy(core, effective_cost(config_.per_packet_rx, config_.per_byte_rx, wire_bytes));
+  sim_.schedule_at(done + config_.rx_latency, std::move(deliver));
+}
+
+} // namespace switchml::net

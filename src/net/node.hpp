@@ -1,0 +1,37 @@
+// Base class for anything attached to the simulated network: hosts, switches,
+// parameter servers. A node receives packets from its links and may schedule
+// further work on the shared Simulation.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace switchml::net {
+
+class Node {
+public:
+  Node(sim::Simulation& simulation, NodeId id, std::string name)
+      : sim_(simulation), id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Called by a Link when a packet arrives on `port`.
+  virtual void receive(Packet&& p, int port) = 0;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+protected:
+  sim::Simulation& sim_;
+
+private:
+  NodeId id_;
+  std::string name_;
+};
+
+} // namespace switchml::net

@@ -1,0 +1,54 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+
+namespace switchml::net {
+
+std::uint32_t Packet::wire_bytes() const {
+  switch (kind) {
+    case PacketKind::SmlUpdate:
+    case PacketKind::SmlResult:
+      return kSmlHeaderBytes + elem_count * elem_bytes;
+    case PacketKind::Segment:
+      return kSegmentHeaderBytes + seg_len;
+    case PacketKind::Ack:
+      return kAckWireBytes;
+    case PacketKind::Raw:
+      return std::max<std::uint32_t>(kAckWireBytes, kSegmentHeaderBytes + seg_len);
+  }
+  return kAckWireBytes;
+}
+
+std::uint32_t Packet::compute_checksum() const {
+  // FNV-1a over the protocol-relevant header fields and the payload.
+  std::uint32_t h = 2166136261u;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint32_t>(v & 0xFF);
+      h *= 16777619u;
+      v >>= 8;
+    }
+  };
+  mix(static_cast<std::uint64_t>(kind));
+  mix(wid);
+  mix(ver);
+  mix(idx);
+  mix(off);
+  mix(job);
+  mix(elem_count);
+  for (std::int32_t v : values) mix(static_cast<std::uint32_t>(v));
+  return h;
+}
+
+const char* to_string(PacketKind k) {
+  switch (k) {
+    case PacketKind::SmlUpdate: return "SmlUpdate";
+    case PacketKind::SmlResult: return "SmlResult";
+    case PacketKind::Segment: return "Segment";
+    case PacketKind::Ack: return "Ack";
+    case PacketKind::Raw: return "Raw";
+  }
+  return "?";
+}
+
+} // namespace switchml::net

@@ -1,0 +1,79 @@
+// Packet representation shared by the SwitchML data path and the baseline
+// transports.
+//
+// Wire-size accounting follows the paper (§3.4, §5.5): a SwitchML update
+// packet carrying k=32 32-bit elements is 180 bytes on the wire
+// (Ethernet 14 + IPv4 20 + UDP 8 + SwitchML 10 + 128 payload), and the
+// MTU-sized variant carrying 366 elements is 1516 bytes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace switchml::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kBroadcast = 0xFFFFFFFF;
+
+enum class PacketKind : std::uint8_t {
+  SmlUpdate,  // worker -> switch model-update piece (Algorithm 2/4)
+  SmlResult,  // switch -> worker aggregated piece (multicast or unicast)
+  Segment,    // reliable byte-stream data segment (baselines)
+  Ack,        // reliable byte-stream cumulative acknowledgment
+  Raw,        // anything else
+};
+
+// Fixed header sizes in bytes (Ethernet + IPv4 + L4 + app header).
+constexpr std::uint32_t kSmlHeaderBytes = 52;   // 14 + 20 + 8 + 10
+constexpr std::uint32_t kSegmentHeaderBytes = 54; // 14 + 20 + 20 (TCP-like)
+constexpr std::uint32_t kAckWireBytes = 64;     // minimum Ethernet frame
+
+// Default SwitchML payload geometry (§3.4): k = 32 elements per packet.
+constexpr std::uint32_t kDefaultElemsPerPacket = 32;
+// MTU-sized variant (§5.5): 366 elements in a 1516-byte frame.
+constexpr std::uint32_t kMtuElemsPerPacket = 366;
+
+struct Packet {
+  PacketKind kind = PacketKind::Raw;
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint8_t job = 0; // multi-tenant pool selector (§6)
+
+  // --- SwitchML header (SmlUpdate / SmlResult) ---
+  std::uint16_t wid = 0;  // worker id
+  std::uint8_t ver = 0;   // single-bit pool version (Algorithm 3/4)
+  std::uint32_t idx = 0;  // aggregator slot index
+  std::uint64_t off = 0;  // element offset into the model update
+
+  // --- reliable transport header (Segment / Ack) ---
+  std::uint32_t stream = 0;
+  std::uint64_t seq = 0;     // first payload byte (Segment) / cumulative ack (Ack)
+  std::uint32_t seg_len = 0; // payload bytes carried by a Segment
+
+  // --- payload accounting ---
+  std::uint32_t elem_count = 0; // vector elements carried (SmlUpdate/SmlResult)
+  std::uint8_t elem_bytes = 4;  // wire bytes per element (4 = int32, 2 = fp16)
+
+  // Optional real data. Empty in timing-only runs, where only the size
+  // accounting above matters.
+  std::vector<std::int32_t> values; // SwitchML integer payload
+  std::vector<float> fvalues;       // baseline float payload
+
+  // §3.4: "A simple checksum can be used to detect corruption and discard
+  // corrupted packets." seal() computes it over the header + payload at the
+  // sender; verify() recomputes at the receiver. Wire corruption (bit flips
+  // injected by Link::set_corrupt_filter) makes verify() fail, and the
+  // receiver treats the packet as lost.
+  std::uint32_t checksum = 0;
+  void seal() { checksum = compute_checksum(); }
+  [[nodiscard]] bool verify() const { return checksum == compute_checksum(); }
+
+  [[nodiscard]] std::uint32_t wire_bytes() const;
+
+private:
+  [[nodiscard]] std::uint32_t compute_checksum() const;
+};
+
+const char* to_string(PacketKind k);
+
+} // namespace switchml::net

@@ -1,0 +1,230 @@
+#include "net/reliable.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace switchml::net {
+
+// ---------------------------------------------------------------- TransportHost
+
+TransportHost::TransportHost(sim::Simulation& simulation, NodeId id, std::string name,
+                             const NicConfig& nic)
+    : Node(simulation, id, std::move(name)), nic_(simulation, nic) {}
+
+void TransportHost::transmit(Packet&& p) {
+  if (uplink_ == nullptr) throw std::logic_error(name() + ": transmit without uplink");
+  const int core = static_cast<int>(p.stream % static_cast<std::uint32_t>(nic_.cores()));
+  const Time ready = nic_.tx_ready(core, p.wire_bytes());
+  uplink_->send_from(*this, std::move(p), ready);
+}
+
+void TransportHost::receive(Packet&& p, int /*port*/) {
+  const int core = static_cast<int>(p.stream % static_cast<std::uint32_t>(nic_.cores()));
+  // Move the packet into the deferred delivery; demux runs after the RX core
+  // has "processed" it.
+  auto shared = std::make_shared<Packet>(std::move(p));
+  nic_.rx_process(core, shared->wire_bytes(), [this, shared]() {
+    Packet& pkt = *shared;
+    if (pkt.kind == PacketKind::Segment) {
+      auto it = receivers_.find(pkt.stream);
+      if (it != receivers_.end()) it->second->on_segment(std::move(pkt));
+    } else if (pkt.kind == PacketKind::Ack) {
+      auto it = senders_.find(pkt.stream);
+      if (it != senders_.end()) it->second->on_ack(pkt);
+    } else {
+      SML_LOG(Warn) << name() << ": unexpected packet kind " << to_string(pkt.kind);
+    }
+  });
+}
+
+// ---------------------------------------------------------------- ReliableSender
+
+ReliableSender::ReliableSender(TransportHost& host, NodeId dst, std::uint32_t stream,
+                               const TransportProfile& profile,
+                               std::function<void()> on_complete)
+    : host_(host),
+      dst_(dst),
+      stream_(stream),
+      profile_(profile),
+      on_complete_(std::move(on_complete)),
+      rto_(profile.rto_initial) {
+  host_.register_sender(stream_, this);
+}
+
+ReliableSender::~ReliableSender() {
+  timer_.cancel();
+  host_.unregister_sender(stream_);
+}
+
+void ReliableSender::start(std::int64_t total_bytes, std::span<const float> data) {
+  if (total_bytes <= 0) throw std::invalid_argument("ReliableSender::start: empty transfer");
+  if (!data.empty() && static_cast<std::int64_t>(data.size()) * 4 != total_bytes)
+    throw std::invalid_argument("ReliableSender::start: data size mismatch");
+  total_ = total_bytes;
+  data_ = data;
+  snd_una_ = 0;
+  snd_nxt_ = 0;
+  // Persistent connection: cwnd starts at the cap and only shrinks on loss.
+  cwnd_ = profile_.window_bytes;
+  ssthresh_ = profile_.window_bytes;
+  pump();
+}
+
+void ReliableSender::send_segment(std::int64_t seq) {
+  const std::int64_t len = std::min<std::int64_t>(profile_.mss, total_ - seq);
+  Packet p;
+  p.kind = PacketKind::Segment;
+  p.src = host_.id();
+  p.dst = dst_;
+  p.stream = stream_;
+  p.seq = static_cast<std::uint64_t>(seq);
+  p.seg_len = static_cast<std::uint32_t>(len);
+  if (!data_.empty()) {
+    const std::size_t first = static_cast<std::size_t>(seq / 4);
+    const std::size_t count = static_cast<std::size_t>(len / 4);
+    p.fvalues.assign(data_.begin() + static_cast<std::ptrdiff_t>(first),
+                     data_.begin() + static_cast<std::ptrdiff_t>(first + count));
+  }
+  ++counters_.segments_sent;
+  host_.transmit(std::move(p));
+}
+
+void ReliableSender::pump() {
+  const std::int64_t window =
+      profile_.congestion_control ? std::min(cwnd_, profile_.window_bytes)
+                                  : profile_.window_bytes;
+  const std::int64_t limit = std::min(total_, snd_una_ + window);
+  while (snd_nxt_ < limit) {
+    send_segment(snd_nxt_);
+    snd_nxt_ += std::min<std::int64_t>(profile_.mss, total_ - snd_nxt_);
+  }
+  if (snd_una_ < total_) arm_rto();
+}
+
+void ReliableSender::arm_rto() {
+  timer_.cancel();
+  timer_ = host_.simulation().schedule_timer(rto_, [this] { on_timeout(); });
+}
+
+void ReliableSender::on_timeout() {
+  if (done()) return;
+  ++counters_.timeouts;
+  counters_.retransmissions +=
+      static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
+  snd_nxt_ = snd_una_; // go-back-N
+  if (profile_.congestion_control) {
+    // RTO is a serious congestion signal: collapse to one segment and
+    // slow-start back up to half the pre-loss window.
+    ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * profile_.mss);
+    cwnd_ = profile_.mss;
+    in_fast_recovery_ = false;
+  }
+  rto_ = std::min<Time>(static_cast<Time>(static_cast<double>(rto_) * profile_.rto_backoff),
+                        profile_.rto_max);
+  pump();
+}
+
+void ReliableSender::on_ack(const Packet& ack) {
+  const auto acked = static_cast<std::int64_t>(ack.seq);
+  if (acked > snd_una_) {
+    const std::int64_t newly_acked = acked - snd_una_;
+    snd_una_ = acked;
+    dupacks_ = 0;
+    in_fast_recovery_ = false;
+    rto_ = profile_.rto_initial;
+    if (profile_.congestion_control && cwnd_ < profile_.window_bytes) {
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += newly_acked; // slow start
+      } else {
+        // Congestion avoidance: ~one MSS per cwnd's worth of ACKed data.
+        cwnd_ += std::max<std::int64_t>(1, profile_.mss * profile_.mss / cwnd_);
+      }
+      cwnd_ = std::min(cwnd_, profile_.window_bytes);
+    }
+    if (snd_una_ >= total_) {
+      timer_.cancel();
+      if (on_complete_) on_complete_();
+      return;
+    }
+    pump();
+  } else {
+    if (++dupacks_ == profile_.dupack_threshold && !in_fast_recovery_) {
+      // Fast retransmit: the receiver buffers out-of-order data, so only the
+      // missing segment needs to be resent. Further duplicate ACKs for the
+      // same hole are ignored until it is repaired (fast recovery).
+      ++counters_.fast_retransmits;
+      ++counters_.retransmissions;
+      in_fast_recovery_ = true;
+      dupacks_ = 0;
+      if (profile_.congestion_control) {
+        // Multiplicative decrease.
+        ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * profile_.mss);
+        cwnd_ = ssthresh_;
+      }
+      send_segment(snd_una_);
+      arm_rto();
+    }
+  }
+}
+
+// -------------------------------------------------------------- ReliableReceiver
+
+ReliableReceiver::ReliableReceiver(TransportHost& host, NodeId src, std::uint32_t stream,
+                                   std::int64_t total_bytes, ChunkHandler on_chunk,
+                                   std::function<void()> on_complete)
+    : host_(host),
+      src_(src),
+      stream_(stream),
+      total_(total_bytes),
+      on_chunk_(std::move(on_chunk)),
+      on_complete_(std::move(on_complete)) {
+  host_.register_receiver(stream_, this);
+}
+
+ReliableReceiver::~ReliableReceiver() { host_.unregister_receiver(stream_); }
+
+void ReliableReceiver::send_ack() {
+  Packet ack;
+  ack.kind = PacketKind::Ack;
+  ack.src = host_.id();
+  ack.dst = src_;
+  ack.stream = stream_;
+  ack.seq = static_cast<std::uint64_t>(rcv_nxt_);
+  host_.transmit(std::move(ack));
+}
+
+void ReliableReceiver::deliver(const Packet& p) {
+  rcv_nxt_ = static_cast<std::int64_t>(p.seq) + p.seg_len;
+  if (on_chunk_) on_chunk_(p.seq, p.seg_len, p.fvalues);
+}
+
+void ReliableReceiver::on_segment(Packet&& p) {
+  const auto seq = static_cast<std::int64_t>(p.seq);
+  if (seq == rcv_nxt_) {
+    deliver(p);
+    // Drain any buffered continuation.
+    auto it = ooo_.find(rcv_nxt_);
+    while (it != ooo_.end()) {
+      deliver(it->second);
+      ooo_.erase(it);
+      it = ooo_.find(rcv_nxt_);
+    }
+    send_ack();
+    if (rcv_nxt_ >= total_ && !completed_) {
+      completed_ = true;
+      if (on_complete_) on_complete_();
+    }
+  } else if (seq > rcv_nxt_) {
+    // Hole: buffer for reassembly (SACK-like) and emit a duplicate ACK so
+    // the sender can fast-retransmit the missing segment.
+    ooo_.emplace(seq, std::move(p));
+    send_ack();
+  } else {
+    // Stale retransmission of already-delivered data: re-ack.
+    send_ack();
+  }
+}
+
+} // namespace switchml::net

@@ -1,0 +1,45 @@
+#include "net/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace switchml::net {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Tx: return "TX";
+    case TraceEventKind::DropQueue: return "DROP-QUEUE";
+    case TraceEventKind::DropLoss: return "DROP-LOSS";
+    case TraceEventKind::Corrupt: return "CORRUPT";
+    case TraceEventKind::Deliver: return "DELIVER";
+  }
+  return "?";
+}
+
+void Tracer::record(const TraceEvent& e) {
+  if (filter_ && !filter_(e)) return;
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+void Tracer::dump(std::ostream& os, std::size_t max_lines) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (max_lines && n++ >= max_lines) {
+      os << "... (" << events_.size() - max_lines << " more events)\n";
+      break;
+    }
+    os << '[' << std::setw(10) << to_usec(e.at) << " us] " << std::setw(10)
+       << to_string(e.kind) << ' ' << to_string(e.pkt) << ' ' << e.from << "->" << e.to;
+    if (e.pkt == PacketKind::SmlUpdate || e.pkt == PacketKind::SmlResult)
+      os << " wid=" << e.wid << " ver=" << static_cast<int>(e.ver) << " slot=" << e.idx
+         << " off=" << e.off;
+    os << " (" << e.wire_bytes << "B)\n";
+  }
+  if (dropped_ != 0) os << "(capacity reached: " << dropped_ << " events not recorded)\n";
+}
+
+} // namespace switchml::net

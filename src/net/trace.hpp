@@ -1,0 +1,60 @@
+// In-memory packet tracer: a pcap-style event log for debugging protocol
+// behaviour and for the worked-example walkthroughs. Links record every
+// transmit / drop / corruption / delivery with the SwitchML header fields,
+// so a run can be replayed as a human-readable timeline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/packet.hpp"
+
+namespace switchml::net {
+
+enum class TraceEventKind : std::uint8_t { Tx, DropQueue, DropLoss, Corrupt, Deliver };
+
+const char* to_string(TraceEventKind k);
+
+struct TraceEvent {
+  Time at = 0;
+  TraceEventKind kind = TraceEventKind::Tx;
+  NodeId from = 0;
+  NodeId to = 0;
+  PacketKind pkt = PacketKind::Raw;
+  std::uint16_t wid = 0;
+  std::uint8_t ver = 0;
+  std::uint32_t idx = 0;
+  std::uint64_t off = 0;
+  std::uint32_t wire_bytes = 0;
+};
+
+class Tracer {
+public:
+  using Filter = std::function<bool(const TraceEvent&)>;
+
+  // Only events passing `filter` are kept (default: keep everything).
+  void set_filter(Filter f) { filter_ = std::move(f); }
+  // Stop recording after `cap` events (guards memory on big runs; 0 = off).
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  void record(const TraceEvent& e);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::size_t dropped_records() const { return dropped_; }
+  void clear() { events_.clear(); dropped_ = 0; }
+
+  // Human-readable timeline; at most `max_lines` lines (0 = all).
+  void dump(std::ostream& os, std::size_t max_lines = 0) const;
+
+private:
+  Filter filter_;
+  std::size_t capacity_ = 0;
+  std::size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+} // namespace switchml::net

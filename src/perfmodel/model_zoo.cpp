@@ -1,0 +1,42 @@
+#include "perfmodel/model_zoo.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace switchml::perf {
+
+namespace {
+// Parameter counts from the original architecture papers; P100 throughputs
+// from the TensorFlow benchmark results the paper cites [55] (batch 128,
+// AlexNet 512 on synthetic data per §5.1).
+const std::array<ModelSpec, 9> kZoo = {{
+    {"alexnet", 61'100'000, 2'500.0, 512, 0.10, 16},
+    {"googlenet", 6'800'000, 430.0, 128, 0.30, 59},
+    {"inception3", 23'900'000, 141.0, 128, 0.30, 96},
+    {"inception4", 42'700'000, 61.0, 128, 0.40, 149},
+    {"resnet50", 25'600'000, 230.0, 128, 0.20, 161},
+    {"resnet101", 44'500'000, 127.0, 128, 0.15, 314},
+    {"vgg11", 132'900'000, 180.0, 128, 0.03, 22},
+    {"vgg16", 138'400'000, 147.0, 128, 0.04, 32},
+    {"vgg19", 143'700'000, 125.0, 128, 0.05, 38},
+}};
+
+// Table 1 (§5.2): batch 64; ideal = 8 x single-GPU; multi-GPU from [55].
+const std::array<Table1Row, 3> kTable1 = {{
+    {"inception3", 1132.0, 1079.0},
+    {"resnet50", 1838.0, 1630.0},
+    {"vgg16", 1180.0, 898.0},
+}};
+} // namespace
+
+std::span<const ModelSpec> model_zoo() { return kZoo; }
+
+const ModelSpec& model(const std::string& name) {
+  for (const auto& m : kZoo)
+    if (m.name == name) return m;
+  throw std::invalid_argument("model_zoo: unknown model " + name);
+}
+
+std::span<const Table1Row> table1_rows() { return kTable1; }
+
+} // namespace switchml::perf

@@ -1,0 +1,46 @@
+// The nine benchmark DNNs of §5 (Fig 3 / Table 1), characterized by the two
+// quantities that determine distributed training throughput: model size
+// (gradient elements to aggregate per iteration) and single-GPU compute
+// throughput (NVidia P100, TensorFlow benchmark suite [55/56]).
+//
+// `overlap_fraction` captures how much of the gradient exchange a framework
+// can hide behind back-propagation (§4: communication starts on the output
+// layer's gradients while earlier gradients are still being computed); it
+// depends on where in the network the parameters sit — VGG/AlexNet hold most
+// parameters in the final dense layers, which are produced FIRST by backprop
+// but whose transfer cannot overlap the long convolution backward pass that
+// follows... empirically these models overlap poorly, which is why they gain
+// the most from SwitchML.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace switchml::perf {
+
+struct ModelSpec {
+  std::string name;
+  std::uint64_t parameters;       // gradient elements per iteration
+  double single_gpu_images_per_s; // P100 throughput at `batch_size`
+  int batch_size;
+  double overlap_fraction; // share of t_compute usable to hide communication
+  int n_tensors;           // gradient tensors reduced per iteration (one per layer)
+};
+
+// All nine models of Fig 3 (batch 128 except AlexNet's 512 per [55]).
+std::span<const ModelSpec> model_zoo();
+
+// Lookup by name; throws if unknown.
+const ModelSpec& model(const std::string& name);
+
+// Table 1 variants (batch 64) with the paper's published baselines for the
+// single-node 8-GPU configuration [55].
+struct Table1Row {
+  std::string name;
+  double ideal;     // 8 x single-GPU images/s
+  double multi_gpu; // single-node 8-GPU measured [55]
+};
+std::span<const Table1Row> table1_rows();
+
+} // namespace switchml::perf

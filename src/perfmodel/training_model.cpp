@@ -1,0 +1,30 @@
+#include "perfmodel/training_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace switchml::perf {
+
+TrainingEstimate estimate_training(const ModelSpec& spec, int n_workers, double ate_rate,
+                                   int batch_size, double per_tensor_overhead_s) {
+  if (n_workers < 1) throw std::invalid_argument("estimate_training: n_workers < 1");
+  if (ate_rate <= 0) throw std::invalid_argument("estimate_training: ate_rate <= 0");
+  const int batch = batch_size > 0 ? batch_size : spec.batch_size;
+
+  TrainingEstimate e;
+  // The benchmark suite's throughput is measured at the spec's batch size;
+  // per-image compute cost is approximately batch-size independent in the
+  // regime the paper uses (64-512).
+  e.t_compute_s = static_cast<double>(batch) / spec.single_gpu_images_per_s;
+  e.t_comm_s = static_cast<double>(spec.parameters) / ate_rate +
+               spec.n_tensors * per_tensor_overhead_s;
+  e.exposed_comm_s = std::max(0.0, e.t_comm_s - spec.overlap_fraction * e.t_compute_s);
+  e.images_per_s = static_cast<double>(n_workers) * batch / (e.t_compute_s + e.exposed_comm_s);
+  return e;
+}
+
+double ideal_images_per_s(const ModelSpec& spec, int n_workers, int /*batch_size*/) {
+  return static_cast<double>(n_workers) * spec.single_gpu_images_per_s;
+}
+
+} // namespace switchml::perf

@@ -1,0 +1,38 @@
+// Training-throughput model: combines a model's (constant) per-iteration
+// compute time with the communication time *measured on the simulated
+// fabric* to estimate end-to-end images/s, the metric of Table 1 and Fig 3.
+//
+//   t_compute = batch / single_gpu_rate
+//   t_comm    = parameters / ATE_rate          (full model reduced per iter)
+//   exposed   = max(0, t_comm - overlap_fraction * t_compute)
+//   images/s  = n * batch / (t_compute + exposed)
+#pragma once
+
+#include "perfmodel/model_zoo.hpp"
+
+namespace switchml::perf {
+
+struct TrainingEstimate {
+  double images_per_s = 0.0;
+  double t_compute_s = 0.0;
+  double t_comm_s = 0.0;
+  double exposed_comm_s = 0.0;
+};
+
+// `ate_rate` is the aggregation strategy's measured aggregated-tensor-
+// elements per second (Fig 4's metric); `batch_size` overrides the spec's
+// default when positive (Table 1 uses 64). `per_tensor_overhead_s` is the
+// fixed launch cost each of the model's n_tensors reductions pays — large
+// for the round-based collectives (2(n-1) sequential round trips to start a
+// ring), tiny for SwitchML's continuous stream (pool drain only).
+TrainingEstimate estimate_training(const ModelSpec& spec, int n_workers, double ate_rate,
+                                   int batch_size = 0, double per_tensor_overhead_s = 0.0);
+
+// Default per-tensor launch overheads used by the Table 1 / Fig 3 harnesses.
+constexpr double kRingPerTensorOverheadS = 1.0e-3;     // TCP ring: 2(n-1) round trips
+constexpr double kSwitchMlPerTensorOverheadS = 3.0e-5; // pool drain + one RTT
+
+// Ideal scaling: n x single-GPU throughput (zero communication cost).
+double ideal_images_per_s(const ModelSpec& spec, int n_workers, int batch_size = 0);
+
+} // namespace switchml::perf

@@ -1,0 +1,93 @@
+#include "quant/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace switchml::quant {
+
+std::int32_t round_to_i32(double scaled) {
+  if (!(scaled >= -2147483648.0 && scaled <= 2147483647.0) || std::isnan(scaled))
+    return kIntIndefinite;
+  return static_cast<std::int32_t>(std::nearbyint(scaled));
+}
+
+void quantize(std::span<const float> x, double f, std::span<std::int32_t> q) {
+  if (q.size() != x.size()) throw std::invalid_argument("quantize: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i)
+    q[i] = round_to_i32(f * static_cast<double>(x[i]));
+}
+
+std::vector<std::int32_t> quantize(std::span<const float> x, double f) {
+  std::vector<std::int32_t> q(x.size());
+  quantize(x, f, q);
+  return q;
+}
+
+void dequantize(std::span<const std::int32_t> q, double f, std::span<float> x) {
+  if (q.size() != x.size()) throw std::invalid_argument("dequantize: size mismatch");
+  const double inv = 1.0 / f;
+  for (std::size_t i = 0; i < q.size(); ++i)
+    x[i] = static_cast<float>(static_cast<double>(q[i]) * inv);
+}
+
+std::vector<float> dequantize(std::span<const std::int32_t> q, double f) {
+  std::vector<float> x(q.size());
+  dequantize(q, f, x);
+  return x;
+}
+
+void htonl_inplace(std::span<std::int32_t> v) {
+  for (auto& e : v)
+    e = static_cast<std::int32_t>(__builtin_bswap32(static_cast<std::uint32_t>(e)));
+}
+
+void ntohl_inplace(std::span<std::int32_t> v) { htonl_inplace(v); } // involution
+
+double max_safe_scaling_factor(int n_workers, double max_abs_update) {
+  if (n_workers < 1) throw std::invalid_argument("max_safe_scaling_factor: n < 1");
+  if (max_abs_update <= 0) throw std::invalid_argument("max_safe_scaling_factor: B <= 0");
+  const double n = n_workers;
+  return (2147483648.0 - n) / (n * max_abs_update);
+}
+
+double aggregation_error_bound(int n_workers, double f) {
+  if (f <= 0) throw std::invalid_argument("aggregation_error_bound: f <= 0");
+  return static_cast<double>(n_workers) / f;
+}
+
+double choose_scaling_factor(std::span<const float> gradient, int n_workers, double headroom) {
+  float max_abs = 0.0f;
+  for (float g : gradient) max_abs = std::max(max_abs, std::abs(g));
+  if (max_abs == 0.0f) max_abs = 1.0f; // all-zero gradient: any safe f works
+  return max_safe_scaling_factor(n_workers, static_cast<double>(max_abs) * headroom);
+}
+
+void quantize_i8_stochastic(std::span<const float> x, double f, std::span<std::int32_t> q,
+                            sim::Rng& rng) {
+  if (q.size() != x.size()) throw std::invalid_argument("quantize_i8_stochastic: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double scaled = f * static_cast<double>(x[i]);
+    scaled = std::clamp(scaled, -127.0, 127.0);
+    const double floor_v = std::floor(scaled);
+    const double frac = scaled - floor_v;
+    // Unbiased: round up with probability equal to the fractional part.
+    const double rounded = floor_v + (rng.uniform() < frac ? 1.0 : 0.0);
+    q[i] = static_cast<std::int32_t>(std::clamp(rounded, -127.0, 127.0));
+  }
+}
+
+double max_safe_scaling_factor_i8(double max_abs_update) {
+  if (max_abs_update <= 0)
+    throw std::invalid_argument("max_safe_scaling_factor_i8: B <= 0");
+  return 126.0 / max_abs_update;
+}
+
+void accumulate_wrapping(std::span<std::int32_t> acc, std::span<const std::int32_t> update) {
+  if (acc.size() != update.size()) throw std::invalid_argument("accumulate_wrapping: size mismatch");
+  for (std::size_t i = 0; i < acc.size(); ++i)
+    acc[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(acc[i]) +
+                                       static_cast<std::uint32_t>(update[i]));
+}
+
+} // namespace switchml::quant

@@ -1,0 +1,75 @@
+// Fixed-point gradient quantization (§3.7, Appendix C).
+//
+// Workers multiply each model update by a scaling factor f, round to int32,
+// and the switch aggregates integers; the aggregate is divided by f at the
+// workers. Theorem 1 bounds the aggregation error by n/f; Theorem 2 shows
+// choosing 0 < f <= (2^31 - n) / (n B) (with B a bound on |update| entries)
+// guarantees no overflow on workers or switch.
+//
+// Conversion semantics mirror x86: CVTPS2DQ produces INT32_MIN (the "integer
+// indefinite" value) for out-of-range inputs, which is what makes training
+// diverge when f is chosen too large (Fig 10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace switchml::quant {
+
+constexpr std::int32_t kIntIndefinite = INT32_MIN;
+
+// Rounds one scaled value to int32 with x86 CVTPS2DQ semantics
+// (round-to-nearest-even; out-of-range -> INT32_MIN).
+std::int32_t round_to_i32(double scaled);
+
+// q[i] = rho(f * x[i]).
+void quantize(std::span<const float> x, double f, std::span<std::int32_t> q);
+std::vector<std::int32_t> quantize(std::span<const float> x, double f);
+
+// x[i] = q[i] / f.
+void dequantize(std::span<const std::int32_t> q, double f, std::span<float> x);
+std::vector<float> dequantize(std::span<const std::int32_t> q, double f);
+
+// Host-side byte-order conversion on the wire path (§5.5:
+// float32-to-int32 -> htonl -> ntohl -> int32-to-float32). These are
+// written as simple loops that the compiler auto-vectorizes (the paper uses
+// SSE/AVX; see bench/micro_quant for the measured conversion rates).
+void htonl_inplace(std::span<std::int32_t> v);
+void ntohl_inplace(std::span<std::int32_t> v);
+
+// Theorem 2: the largest f for which no overflow can occur given n workers
+// and per-entry bound B on |update| entries.
+double max_safe_scaling_factor(int n_workers, double max_abs_update);
+
+// Theorem 1: worst-case |exact_sum - quantized_sum/f| per element.
+double aggregation_error_bound(int n_workers, double f);
+
+// Profiles a gradient (as the paper does over the first iterations) and
+// picks f so the maximum value stays representable with `headroom` spare
+// factor.
+double choose_scaling_factor(std::span<const float> gradient, int n_workers,
+                             double headroom = 2.0);
+
+// Integer aggregation with two's-complement wraparound — the switch ALU
+// semantics, usable host-side by the PS baselines and by tests.
+void accumulate_wrapping(std::span<std::int32_t> acc, std::span<const std::int32_t> update);
+
+// --- int8 extension ---------------------------------------------------------
+// Appendix C surveys aggressive gradient compressors (QSGD, TernGrad, ...)
+// that trade variance for bandwidth via RANDOMIZED rounding. This extension
+// implements that class for SwitchML's wire: values are scaled by f, rounded
+// STOCHASTICALLY (so the quantizer is unbiased: E[rho(x)] = x) and clamped
+// to int8 range; the switch still aggregates in 32-bit registers, so sums of
+// up to 2^24 workers cannot overflow. Packets carry elem_bytes = 1, cutting
+// wire bytes 4x versus int32.
+void quantize_i8_stochastic(std::span<const float> x, double f, std::span<std::int32_t> q,
+                            sim::Rng& rng);
+
+// Largest f keeping |f x| within int8 for |x| <= max_abs (with the stochastic
+// round-up absorbed by the 127 -> 126.5 margin).
+double max_safe_scaling_factor_i8(double max_abs_update);
+
+} // namespace switchml::quant

@@ -1,0 +1,104 @@
+#include "quant/float16.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace switchml::quant {
+
+namespace {
+std::uint32_t f32_bits(float f) {
+  std::uint32_t u;
+  std::memcpy(&u, &f, sizeof(u));
+  return u;
+}
+float bits_f32(std::uint32_t u) {
+  float f;
+  std::memcpy(&f, &u, sizeof(f));
+  return f;
+}
+} // namespace
+
+half float_to_half(float f) {
+  const std::uint32_t x = f32_bits(f);
+  const std::uint32_t sign = (x >> 16) & 0x8000u;
+  const std::int32_t exp = static_cast<std::int32_t>((x >> 23) & 0xFF) - 127 + 15;
+  std::uint32_t mant = x & 0x7FFFFFu;
+
+  if (((x >> 23) & 0xFF) == 0xFF) { // inf / NaN
+    return static_cast<half>(sign | 0x7C00u | (mant ? 0x200u : 0u));
+  }
+  if (exp >= 0x1F) { // overflow -> inf
+    return static_cast<half>(sign | 0x7C00u);
+  }
+  if (exp <= 0) { // subnormal half or zero
+    if (exp < -10) return static_cast<half>(sign); // underflow to signed zero
+    mant |= 0x800000u;                             // implicit leading 1
+    const int shift = 14 - exp;                    // 14..24
+    const std::uint32_t sub = mant >> shift;
+    // round to nearest even
+    const std::uint32_t rem = mant & ((1u << shift) - 1);
+    const std::uint32_t halfway = 1u << (shift - 1);
+    std::uint32_t rounded = sub;
+    if (rem > halfway || (rem == halfway && (sub & 1u))) ++rounded;
+    return static_cast<half>(sign | rounded);
+  }
+  // normal: round mantissa from 23 to 10 bits, nearest even
+  std::uint32_t out = sign | (static_cast<std::uint32_t>(exp) << 10) | (mant >> 13);
+  const std::uint32_t rem = mant & 0x1FFFu;
+  if (rem > 0x1000u || (rem == 0x1000u && (out & 1u))) ++out; // may carry into exponent: correct
+  return static_cast<half>(out);
+}
+
+float half_to_float(half h) {
+  const std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+  const std::uint32_t exp = (h >> 10) & 0x1Fu;
+  const std::uint32_t mant = h & 0x3FFu;
+
+  if (exp == 0) {
+    if (mant == 0) return bits_f32(sign); // signed zero
+    // subnormal: normalize
+    int e = -1;
+    std::uint32_t m = mant;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x400u) == 0);
+    const std::uint32_t fexp = 127 - 15 - e;
+    return bits_f32(sign | (fexp << 23) | ((m & 0x3FFu) << 13));
+  }
+  if (exp == 0x1F) { // inf / NaN
+    return bits_f32(sign | 0x7F800000u | (mant << 13));
+  }
+  return bits_f32(sign | ((exp - 15 + 127) << 23) | (mant << 13));
+}
+
+void float_to_half(std::span<const float> in, std::span<half> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("float_to_half: size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = float_to_half(in[i]);
+}
+
+void half_to_float(std::span<const half> in, std::span<float> out) {
+  if (in.size() != out.size()) throw std::invalid_argument("half_to_float: size mismatch");
+  for (std::size_t i = 0; i < in.size(); ++i) out[i] = half_to_float(in[i]);
+}
+
+Fp16Table::Fp16Table(int frac_bits) : frac_bits_(frac_bits), to_fixed_(65536) {
+  if (frac_bits < 0 || frac_bits > 30) throw std::invalid_argument("Fp16Table: frac_bits out of range");
+  const double scale = static_cast<double>(1u << frac_bits);
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    const float v = half_to_float(static_cast<half>(h));
+    double scaled = static_cast<double>(v) * scale;
+    if (std::isnan(scaled)) scaled = 0.0;
+    if (scaled > 2147483647.0) scaled = 2147483647.0;   // saturate
+    if (scaled < -2147483648.0) scaled = -2147483648.0; // saturate
+    to_fixed_[h] = static_cast<std::int32_t>(std::nearbyint(scaled));
+  }
+}
+
+half Fp16Table::to_half(std::int32_t fixed) const {
+  const double v = static_cast<double>(fixed) / static_cast<double>(1u << frac_bits_);
+  return float_to_half(static_cast<float>(v));
+}
+
+} // namespace switchml::quant

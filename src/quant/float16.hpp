@@ -1,0 +1,53 @@
+// IEEE 754 binary16 ("half precision") support (§3.7).
+//
+// SwitchML's second numerical representation sends 16-bit floats on the wire;
+// the switch converts them to 32-bit fixed point with lookup tables before
+// aggregating, and converts back when emitting results. We implement:
+//   * software float32 <-> float16 conversion (round-to-nearest-even, with
+//     proper subnormal/inf/NaN handling), and
+//   * Fp16Table, the lookup-table conversion the Tofino performs in the
+//     dataplane (a 64Ki-entry table is exactly what the chip's SRAM tables
+//     express).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace switchml::quant {
+
+using half = std::uint16_t; // raw binary16 bit pattern
+
+half float_to_half(float f);
+float half_to_float(half h);
+
+void float_to_half(std::span<const float> in, std::span<half> out);
+void half_to_float(std::span<const half> in, std::span<float> out);
+
+// Dataplane lookup tables: binary16 -> fixed-point int32 with `frac_bits`
+// fractional bits, and the (approximate) inverse for result generation.
+// Values whose magnitude exceeds the representable fixed-point range saturate
+// (a table can encode any saturation policy; Tofino tables are arbitrary
+// function lookups).
+class Fp16Table {
+public:
+  explicit Fp16Table(int frac_bits);
+
+  [[nodiscard]] int frac_bits() const { return frac_bits_; }
+
+  // Switch ingress: fp16 wire value -> int32 fixed point.
+  [[nodiscard]] std::int32_t to_fixed(half h) const { return to_fixed_[h]; }
+
+  // Switch egress: aggregated int32 fixed point -> fp16 wire value.
+  [[nodiscard]] half to_half(std::int32_t fixed) const;
+
+  [[nodiscard]] std::size_t table_bytes() const { return to_fixed_.size() * sizeof(std::int32_t); }
+
+private:
+  int frac_bits_;
+  std::vector<std::int32_t> to_fixed_; // 65536 entries
+};
+
+} // namespace switchml::quant

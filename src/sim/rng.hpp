@@ -1,0 +1,56 @@
+// Deterministic random-number streams for the simulator.
+//
+// Every stochastic element (each link's loss process, workload generators,
+// dataset synthesis) owns its own named stream so that adding or removing one
+// consumer never perturbs the draws seen by another — runs are reproducible
+// bit-for-bit for a given master seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace switchml::sim {
+
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Derives an independent stream from a master seed and a label, e.g.
+  // Rng::stream(seed, "link-3-loss").
+  static Rng stream(std::uint64_t master_seed, std::string_view label) {
+    // FNV-1a over the label, mixed with the master seed.
+    std::uint64_t h = 14695981039346656037ull;
+    for (char c : label) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ull;
+    }
+    return Rng(h ^ (master_seed * 0x9E3779B97F4A7C15ull));
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  // Bernoulli draw with probability p.
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+private:
+  std::mt19937_64 engine_;
+};
+
+} // namespace switchml::sim

@@ -1,0 +1,57 @@
+#include "sim/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace switchml::sim {
+
+void Simulation::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn), nullptr});
+}
+
+TimerHandle Simulation::schedule_timer(Time delay, std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
+  return TimerHandle(std::move(alive));
+}
+
+bool Simulation::dispatch_one() {
+  // const_cast is safe: we pop immediately after moving the closure out, and
+  // the heap ordering does not depend on `fn`.
+  Event& top = const_cast<Event&>(queue_.top());
+  const bool cancelled = top.alive && !*top.alive;
+  if (cancelled) {
+    // Cancelled timers are skipped without advancing the clock: nothing
+    // observable happens at their expiry time.
+    queue_.pop();
+    return false;
+  }
+  now_ = top.at;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  fn();
+  ++executed_;
+  return true;
+}
+
+std::uint64_t Simulation::run() {
+  std::uint64_t n = 0;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    if (dispatch_one()) ++n;
+  }
+  return n;
+}
+
+std::uint64_t Simulation::run_until(Time deadline) {
+  std::uint64_t n = 0;
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().at <= deadline) {
+    if (dispatch_one()) ++n;
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+  return n;
+}
+
+} // namespace switchml::sim

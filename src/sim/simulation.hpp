@@ -1,0 +1,94 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual clock (integer nanoseconds) and a time-ordered
+// event queue. Events scheduled for the same instant run in scheduling order
+// (FIFO tie-break), which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace switchml::sim {
+
+using switchml::Time;
+
+// Handle to a scheduled event that may be cancelled (used for protocol
+// retransmission timers). Cancellation is O(1): the event stays queued but is
+// skipped when popped.
+class TimerHandle {
+public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool armed() const { return alive_ && *alive_; }
+
+private:
+  friend class Simulation;
+  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulation {
+public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now).
+  void schedule_at(Time at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` ns from now.
+  void schedule_after(Time delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  // Schedules a cancellable event.
+  TimerHandle schedule_timer(Time delay, std::function<void()> fn);
+
+  // Runs until the queue is empty or stop() is called. Returns the number of
+  // events executed.
+  std::uint64_t run();
+
+  // Runs until simulated time reaches `deadline` (events at exactly
+  // `deadline` still run), the queue drains, or stop() is called.
+  std::uint64_t run_until(Time deadline);
+
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+private:
+  struct Event {
+    Time at;
+    std::uint64_t seq; // FIFO tie-break for same-time events
+    std::function<void()> fn;
+    std::shared_ptr<bool> alive; // null => not cancellable
+
+    // std::priority_queue is a max-heap; invert so the earliest event pops first.
+    bool operator<(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  bool dispatch_one();
+
+  std::priority_queue<Event> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+} // namespace switchml::sim

@@ -1,0 +1,313 @@
+#include "switchml_switch/aggregation_switch.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace switchml::swprog {
+
+namespace {
+constexpr std::uint64_t worker_bit(int ver, int wid_local) {
+  return 1ull << (ver * 32 + wid_local);
+}
+} // namespace
+
+AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id,
+                                     std::string name, AggregationConfig config,
+                                     SwitchRole role, Time pipeline_latency)
+    : L2Switch(simulation, id, std::move(name), pipeline_latency),
+      config_(config),
+      role_(role),
+      pipeline_(config.pipeline_stages) {
+  if (role == SwitchRole::Leaf && config.parent_port < 0)
+    throw std::invalid_argument("AggregationSwitch: leaf role requires parent_port");
+  if (!config.mtu_emulation && config.elems_per_packet > config.hw_elems_limit)
+    throw std::invalid_argument(
+        "AggregationSwitch: elems_per_packet exceeds the hardware per-packet limit; "
+        "enable mtu_emulation to model the paper's enhanced baseline (§5.5)");
+
+  JobParams job0;
+  job0.n_workers = config.n_workers;
+  job0.pool_size = config.pool_size;
+  job0.wid_base = config.wid_base;
+  job0.multicast_group = config.multicast_group;
+  if (!admit_job(0, job0))
+    throw std::invalid_argument("AggregationSwitch: job 0 does not fit the SRAM budget");
+}
+
+std::size_t AggregationSwitch::job_register_bytes(const JobParams& params) const {
+  const std::size_t k_agg = config_.timing_only
+                                ? 0
+                                : std::min<std::size_t>(config_.elems_per_packet,
+                                                        config_.hw_elems_limit);
+  if (config_.lossless) {
+    // Algorithm 1: one 32-bit counter + one 32-bit value slot per element —
+    // no shadow copies, no bitmaps (§3.5's memory-cost discussion).
+    return (1 + k_agg) * params.pool_size * sizeof(std::uint32_t);
+  }
+  return (2 + k_agg) * params.pool_size * sizeof(std::uint64_t);
+}
+
+std::size_t AggregationSwitch::register_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, state] : jobs_) total += job_register_bytes(state.params);
+  return total;
+}
+
+std::size_t AggregationSwitch::sram_free_bytes() const {
+  const std::size_t used = register_bytes();
+  return used >= config_.sram_budget_bytes ? 0 : config_.sram_budget_bytes - used;
+}
+
+bool AggregationSwitch::admit_job(std::uint8_t job, const JobParams& params) {
+  if (jobs_.count(job) != 0) return false;
+  if (params.n_workers < 1 || params.n_workers > 32)
+    throw std::invalid_argument(
+        "AggregationSwitch: a single pipeline supports 1..32 directly-attached workers");
+  if (params.pool_size == 0)
+    throw std::invalid_argument("AggregationSwitch: pool_size must be positive");
+  if (job_register_bytes(params) > sram_free_bytes()) return false;
+
+  JobState state;
+  state.params = params;
+  const std::string prefix = "job" + std::to_string(job) + ".";
+  if (!config_.lossless)
+    state.seen = std::make_unique<dp::RegisterArray>(pipeline_, prefix + "seen", 0,
+                                                     params.pool_size);
+  state.count = std::make_unique<dp::RegisterArray>(pipeline_, prefix + "count", 1,
+                                                    params.pool_size);
+  if (!config_.timing_only) {
+    const std::size_t k_agg =
+        std::min<std::size_t>(config_.elems_per_packet, config_.hw_elems_limit);
+    const int value_stages = config_.pipeline_stages - 2;
+    if (value_stages < 1)
+      throw std::invalid_argument("AggregationSwitch: pipeline too short for value registers");
+    state.pool.reserve(k_agg);
+    for (std::size_t j = 0; j < k_agg; ++j) {
+      // Spread the k value registers across the remaining stages,
+      // non-decreasing in j so pipeline ordering holds.
+      const int stage = 2 + static_cast<int>(j * static_cast<std::size_t>(value_stages) / k_agg);
+      state.pool.push_back(std::make_unique<dp::RegisterArray>(
+          pipeline_, prefix + "pool_" + std::to_string(j), stage, params.pool_size));
+    }
+  }
+  jobs_.emplace(job, std::move(state));
+  return true;
+}
+
+void AggregationSwitch::evict_job(std::uint8_t job) { jobs_.erase(job); }
+
+const quant::Fp16Table& AggregationSwitch::fp16_table() {
+  if (!fp16_table_) fp16_table_ = std::make_unique<quant::Fp16Table>(config_.fp16_frac_bits);
+  return *fp16_table_;
+}
+
+int AggregationSwitch::local_worker_index(const JobState& job, std::uint16_t wid) {
+  const int local = static_cast<int>(wid) - static_cast<int>(job.params.wid_base);
+  if (local < 0 || local >= job.params.n_workers)
+    throw std::runtime_error("AggregationSwitch: update from unknown worker id " +
+                             std::to_string(wid));
+  return local;
+}
+
+void AggregationSwitch::receive(net::Packet&& p, int port) {
+  if (p.kind == net::PacketKind::SmlUpdate) {
+    handle_update(std::move(p), port);
+    return;
+  }
+  if (role_ == SwitchRole::Leaf && p.kind == net::PacketKind::SmlResult &&
+      port == config_.parent_port) {
+    // Root result arriving at a leaf: relay to our workers. Workers ignore
+    // duplicates by offset matching, so re-multicasting a retransmitted root
+    // result is safe.
+    ++counters_.results_from_parent;
+    ++counters_.results_multicast;
+    auto it = jobs_.find(p.job);
+    const std::uint32_t group =
+        it != jobs_.end() ? it->second.params.multicast_group : config_.multicast_group;
+    multicast(group, p);
+    return;
+  }
+  L2Switch::receive(std::move(p), port); // ordinary forwarding for other traffic
+}
+
+void AggregationSwitch::emit_result(const JobState& job, const net::Packet& update,
+                                    std::vector<std::int32_t>&& values) {
+  net::Packet result;
+  result.kind = net::PacketKind::SmlResult;
+  result.src = id();
+  result.job = update.job;
+  result.wid = update.wid;
+  result.ver = update.ver;
+  result.idx = update.idx;
+  result.off = update.off;
+  result.elem_count = update.elem_count;
+  result.elem_bytes = update.elem_bytes;
+  result.values = std::move(values);
+  if (role_ == SwitchRole::Leaf) {
+    // Completion at a leaf produces ONE partial-aggregate update packet for
+    // the parent, with this leaf acting as worker `leaf_wid` of the parent.
+    net::Packet up = std::move(result);
+    up.kind = net::PacketKind::SmlUpdate;
+    up.wid = config_.leaf_wid;
+    up.seal();
+    send_upstream(std::move(up));
+  } else {
+    result.seal();
+    ++counters_.results_multicast;
+    multicast(job.params.multicast_group, result);
+  }
+}
+
+void AggregationSwitch::send_upstream(net::Packet&& p) {
+  net::Link* up = link_at(config_.parent_port);
+  if (up == nullptr) throw std::logic_error(name() + ": leaf has no parent link");
+  ++counters_.upstream_partials;
+  p.src = id();
+  p.dst = up->peer_of(*this).id();
+  up->send_from(*this, std::move(p), sim_.now() + pipeline_latency());
+}
+
+void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
+  ++counters_.updates_received;
+  if (!p.verify()) {
+    // §3.4: the checksum discards corrupted updates; worker-side timers
+    // retransmit them.
+    ++counters_.checksum_drops;
+    return;
+  }
+  auto jit = jobs_.find(p.job);
+  if (jit == jobs_.end()) {
+    ++counters_.unknown_job_drops;
+    return;
+  }
+  JobState& job = jit->second;
+  pipeline_.begin_packet();
+
+  const int ver = p.ver & 1;
+  const std::uint32_t idx = p.idx;
+  if (idx >= job.params.pool_size)
+    throw std::runtime_error(name() + ": slot index out of range");
+  const int wid_local = local_worker_index(job, p.wid);
+  const auto n = static_cast<std::uint32_t>(job.params.n_workers);
+
+  // --- Algorithm 3, lines 5-7: one access sets our bit for this version and
+  // clears our bit for the alternate version. (Algorithm 1 / lossless mode
+  // has no bitmap: the network guarantees no duplicates ever arrive.)
+  bool already_seen = false;
+  if (!config_.lossless) {
+    const std::uint64_t seen_before = job.seen->rmw(idx, [ver, wid_local](std::uint64_t w) {
+      w |= worker_bit(ver, wid_local);
+      w &= ~worker_bit(1 - ver, wid_local);
+      return w;
+    });
+    already_seen = !config_.ablate_seen_bitmap &&
+                   (seen_before & worker_bit(ver, wid_local)) != 0;
+  }
+
+  // The ASIC aggregates at most hw_elems_limit elements; with mtu_emulation
+  // the remaining payload is carried through unmodified (§5.5).
+  const std::size_t k_agg = std::min<std::size_t>(
+      {static_cast<std::size_t>(p.elem_count), static_cast<std::size_t>(config_.hw_elems_limit),
+       job.pool.size()});
+
+  if (!already_seen) {
+    // --- Algorithm 3, line 8: count[ver, idx] = (count + 1) % n.
+    const std::uint64_t count_before = job.count->rmw(idx, [ver, n](std::uint64_t w) {
+      const std::uint32_t c = (static_cast<std::uint32_t>(dp::half_get(w, ver)) + 1) % n;
+      return dp::half_set(w, ver, c);
+    });
+    const std::uint32_t new_count =
+        (static_cast<std::uint32_t>(dp::half_get(count_before, ver)) + 1) % n;
+    // Line 9: the first contribution of a phase OVERWRITES the slot, which is
+    // how a slot is recycled without an explicit reset. (With n == 1 every
+    // packet is simultaneously first and complete.)
+    const bool first = new_count == 1 || n == 1;
+    const bool complete = new_count == 0;
+
+    std::vector<std::int32_t> result_values;
+    if (!config_.timing_only && !p.values.empty()) {
+      // §3.7 16-bit path: ingress tables turn binary16 wire values into
+      // fixed point before aggregation.
+      const bool fp16 = p.elem_bytes == 2;
+      const quant::Fp16Table* table = fp16 ? &fp16_table() : nullptr;
+      if (complete) result_values.resize(p.values.size());
+      for (std::size_t j = 0; j < k_agg; ++j) {
+        const std::int32_t x =
+            fp16 ? table->to_fixed(static_cast<quant::half>(static_cast<std::uint32_t>(p.values[j])))
+                 : p.values[j];
+        std::int32_t updated = 0;
+        job.pool[j]->rmw(idx, [&](std::uint64_t w) {
+          // Two's-complement add with wraparound, exactly as the switch ALU
+          // behaves on overflow (Appendix C relies on f keeping sums in range).
+          const std::int32_t old = dp::half_as_i32(w, ver);
+          updated = first ? x
+                          : static_cast<std::int32_t>(static_cast<std::uint32_t>(old) +
+                                                      static_cast<std::uint32_t>(x));
+          return dp::half_store_i32(w, ver, updated);
+        });
+        // Egress: fixed point back to binary16 for the 16-bit wire format.
+        if (complete) result_values[j] = fp16 ? table->to_half(updated) : updated;
+      }
+      // mtu_emulation: elements beyond the ASIC limit pass through as-is
+      // (timing experiments only — the values are not actually aggregated).
+      if (complete)
+        for (std::size_t j = k_agg; j < p.values.size(); ++j) result_values[j] = p.values[j];
+    }
+
+    if (complete) {
+      ++counters_.completions;
+      emit_result(job, p, std::move(result_values));
+    }
+    // else: drop p (the update is absorbed into the slot)
+  } else {
+    ++counters_.duplicate_updates;
+    if (config_.ablate_shadow_copy) return; // ablation: no stored result to serve
+    // --- Algorithm 3, lines 19-23: duplicate. If the slot already completed
+    // (count wrapped to 0), answer from the shadow copy; otherwise drop.
+    const std::uint32_t count_now =
+        static_cast<std::uint32_t>(dp::half_get(job.count->read(idx), ver));
+    if (count_now == 0) {
+      std::vector<std::int32_t> result_values;
+      if (!config_.timing_only && !p.values.empty()) {
+        const bool fp16 = p.elem_bytes == 2;
+        const quant::Fp16Table* table = fp16 ? &fp16_table() : nullptr;
+        result_values.resize(p.values.size());
+        for (std::size_t j = 0; j < k_agg; ++j) {
+          const std::int32_t stored = dp::half_as_i32(job.pool[j]->read(idx), ver);
+          result_values[j] = fp16 ? table->to_half(stored) : stored;
+        }
+        for (std::size_t j = k_agg; j < p.values.size(); ++j) result_values[j] = p.values[j];
+      }
+      if (role_ == SwitchRole::Leaf) {
+        // §6: convert the worker's retransmission into an upstream
+        // retransmission of our partial aggregate; the parent will answer
+        // with the (re)multicast of the final result.
+        net::Packet up = std::move(p);
+        up.kind = net::PacketKind::SmlUpdate;
+        up.wid = config_.leaf_wid;
+        up.values = std::move(result_values);
+        up.seal();
+        send_upstream(std::move(up));
+      } else {
+        ++counters_.unicast_replies;
+        net::Packet reply;
+        reply.kind = net::PacketKind::SmlResult;
+        reply.src = id();
+        reply.dst = p.src;
+        reply.job = p.job;
+        reply.wid = p.wid;
+        reply.ver = p.ver;
+        reply.idx = p.idx;
+        reply.off = p.off;
+        reply.elem_count = p.elem_count;
+        reply.elem_bytes = p.elem_bytes;
+        reply.values = std::move(result_values);
+        reply.seal();
+        forward(std::move(reply));
+      }
+    }
+    // else: still aggregating — the duplicate is simply ignored.
+  }
+}
+
+} // namespace switchml::swprog

@@ -1,0 +1,163 @@
+// The SwitchML switch program: streaming in-network aggregation with packet
+// loss recovery, expressed against the dataplane register model.
+//
+// This is a faithful implementation of the paper's Algorithm 3 (which
+// degenerates to Algorithm 1 when no losses occur):
+//
+//  * a pool of s aggregation slots, each aggregating a vector of k integers;
+//  * TWO versions of every slot (active + shadow copy) living in the two
+//    32-bit halves of 64-bit registers, selected by the packet's single-bit
+//    `ver` field;
+//  * a per-slot `seen` bitmap (one bit per worker per version) so duplicate
+//    transmissions are ignored, with the alternate version's bit cleared by
+//    the same single register access;
+//  * a per-slot mod-n counter; the count wrapping to 0 means the slot is
+//    complete, upon which the traffic manager multicasts the result and the
+//    slot is immediately reusable (the completed value stays behind as the
+//    shadow copy until the next phase overwrites it);
+//  * retransmissions of already-aggregated updates for a COMPLETE slot are
+//    answered with a unicast copy of the result read from the shadow copy.
+//
+// Multi-tenancy (§6): every job gets its own pool of aggregators, admitted
+// by the control plane against the dataplane SRAM budget. Packets select
+// their job's pool with the `job` header field.
+//
+// The same class implements the paper's §6 hierarchical composition: a
+// switch configured as a LEAF forwards each completed partial aggregate
+// upstream as a single update packet (acting as one "worker" of its parent),
+// relays parent results downward as a multicast, and converts worker
+// retransmissions into upstream retransmissions so a loss anywhere in the
+// tree is always repaired.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "dataplane/pipeline.hpp"
+#include "net/l2switch.hpp"
+#include "quant/float16.hpp"
+
+namespace switchml::swprog {
+
+enum class SwitchRole : std::uint8_t {
+  Standalone, // single-rack deployment: completion => multicast to workers
+  Leaf,       // hierarchical: completion => one partial-aggregate packet upstream
+  Root,       // hierarchical top: aggregates leaves, multicasts down to leaves
+};
+
+// Per-job admission parameters (§6 multi-tenancy).
+struct JobParams {
+  int n_workers = 8;             // contributors per slot (workers, or leaves at the root)
+  std::uint32_t pool_size = 128; // s
+  std::uint16_t wid_base = 0;    // first worker id of this job
+  std::uint32_t multicast_group = 1; // downstream replication group
+};
+
+struct AggregationConfig {
+  int n_workers = 8;
+  std::uint32_t pool_size = 128;
+  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket; // k
+  std::uint16_t wid_base = 0;
+  bool timing_only = false;      // skip value registers (protocol state still exact)
+  std::uint32_t hw_elems_limit = 32;  // elements the ASIC can aggregate per packet (§3.4)
+  bool mtu_emulation = false;    // §5.5: aggregate first hw_elems_limit, pass the rest through
+  int pipeline_stages = 12;
+  // §3.7 16-bit wire format: packets with elem_bytes == 2 carry raw binary16
+  // patterns; the switch converts them to fixed point with `fp16_frac_bits`
+  // fractional bits via lookup tables at ingress and back at egress.
+  int fp16_frac_bits = 12;
+  std::uint32_t multicast_group = 1;
+  // Dataplane SRAM available for aggregation state; admission control
+  // rejects jobs that would exceed it (§6: "an admission mechanism would be
+  // needed to control the assignment of jobs to pools").
+  std::size_t sram_budget_bytes = 4 * kMiB;
+  // Leaf-only:
+  int parent_port = -1;
+  std::uint16_t leaf_wid = 0; // this switch's worker id at its parent
+
+  // Ablation switches (bench/ablation_protocol): disable the two pieces of
+  // loss-recovery state Algorithm 3 adds over Algorithm 1, to demonstrate
+  // why each is necessary.
+  bool ablate_shadow_copy = false; // completed-slot retransmissions are dropped
+  bool ablate_seen_bitmap = false; // duplicates re-aggregate (Algorithm 1 behavior)
+
+  // §3.2: "a SwitchML instance running in a lossless network such as
+  // Infiniband or lossless RoCE" — the literal Algorithm 1: single pool
+  // version, no seen bitmaps, no shadow copies, (paired with workers that
+  // run Algorithm 2: no retransmission timers). Uses roughly half the
+  // dataplane SRAM of the loss-tolerant program.
+  bool lossless = false;
+};
+
+class AggregationSwitch : public net::L2Switch {
+public:
+  AggregationSwitch(sim::Simulation& simulation, net::NodeId id, std::string name,
+                    AggregationConfig config, SwitchRole role = SwitchRole::Standalone,
+                    Time pipeline_latency = nsec(400));
+
+  void receive(net::Packet&& p, int port) override;
+
+  // --- control plane: job admission (§6 multi-tenancy) ----------------------
+  // Returns false (and admits nothing) if the job's registers would not fit
+  // in the SRAM budget or the id is taken. Job 0 is admitted at construction
+  // from `config`.
+  bool admit_job(std::uint8_t job, const JobParams& params);
+  void evict_job(std::uint8_t job);
+  [[nodiscard]] bool has_job(std::uint8_t job) const { return jobs_.count(job) != 0; }
+  [[nodiscard]] std::size_t jobs_admitted() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t sram_free_bytes() const;
+
+  struct Counters {
+    std::uint64_t updates_received = 0;
+    std::uint64_t duplicate_updates = 0;   // ignored via the seen bitmap
+    std::uint64_t completions = 0;         // slots that finished aggregation
+    std::uint64_t results_multicast = 0;   // packets replicated downstream
+    std::uint64_t unicast_replies = 0;     // retransmit answers from the shadow copy
+    std::uint64_t upstream_partials = 0;   // leaf -> parent packets (incl. retransmits)
+    std::uint64_t results_from_parent = 0; // root results relayed by a leaf
+    std::uint64_t unknown_job_drops = 0;   // packets for unadmitted jobs
+    std::uint64_t checksum_drops = 0;      // corrupted updates discarded (§3.4)
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // Dataplane SRAM consumed by the aggregation state (§5.5 "switch
+  // resources"): pool registers + counters + bitmaps, across all jobs.
+  // In lossless mode the accounting reflects the Algorithm-1 layout (single
+  // 32-bit version per element, no bitmap).
+  [[nodiscard]] std::size_t register_bytes() const;
+  [[nodiscard]] const dp::Pipeline& pipeline() const { return pipeline_; }
+  [[nodiscard]] const AggregationConfig& config() const { return config_; }
+
+private:
+  // Register layout (stage assignment mirrors Appendix B: bitmap first, then
+  // the counter, then the value registers spread across remaining stages).
+  struct JobState {
+    JobParams params;
+    std::unique_ptr<dp::RegisterArray> seen;  // [s] x (2 x 32-bit worker bitmaps)
+    std::unique_ptr<dp::RegisterArray> count; // [s] x (2 x 32-bit mod-n counters)
+    std::vector<std::unique_ptr<dp::RegisterArray>> pool; // per-element [s] x (2 x int32)
+  };
+
+  void handle_update(net::Packet&& p, int in_port);
+  void emit_result(const JobState& job, const net::Packet& update,
+                   std::vector<std::int32_t>&& values);
+  void send_upstream(net::Packet&& p);
+  [[nodiscard]] static int local_worker_index(const JobState& job, std::uint16_t wid);
+  [[nodiscard]] std::size_t job_register_bytes(const JobParams& params) const;
+
+  // Lazily-built §3.7 conversion tables (the Tofino implements these as
+  // dataplane match tables; 256 KiB of table SRAM, separate from registers).
+  const quant::Fp16Table& fp16_table();
+
+  AggregationConfig config_;
+  SwitchRole role_;
+  dp::Pipeline pipeline_;
+  std::map<std::uint8_t, JobState> jobs_;
+  std::unique_ptr<quant::Fp16Table> fp16_table_;
+  Counters counters_;
+};
+
+} // namespace switchml::swprog

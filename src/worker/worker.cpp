@@ -1,0 +1,218 @@
+#include "worker/worker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/log.hpp"
+
+namespace switchml::worker {
+
+Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
+               WorkerConfig config)
+    : Node(simulation, id, std::move(name)),
+      config_(config),
+      nic_(simulation, config.nic),
+      slot_ver_(config.pool_size, 0),
+      slots_(config.pool_size),
+      rto_(config.retransmit_timeout) {
+  if (config.pool_size == 0) throw std::invalid_argument("Worker: pool_size must be positive");
+  if (config.elems_per_packet == 0)
+    throw std::invalid_argument("Worker: elems_per_packet must be positive");
+}
+
+void Worker::rtt_sample(Time sample) {
+  rtt_.add(to_usec(sample));
+  if (!config_.adaptive_rto) return;
+  // Jacobson/Karels: SRTT <- SRTT + (R - SRTT)/8, RTTVAR <- RTTVAR +
+  // (|R - SRTT| - RTTVAR)/4, RTO = SRTT + 4 RTTVAR.
+  const double r = static_cast<double>(sample);
+  if (!have_rtt_) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+    have_rtt_ = true;
+  } else {
+    const double err = r - srtt_;
+    srtt_ += err / 8.0;
+    rttvar_ += (std::abs(err) - rttvar_) / 4.0;
+  }
+  const auto rto = static_cast<Time>(srtt_ + 4.0 * rttvar_);
+  rto_ = std::clamp(rto, config_.rto_min, config_.rto_max);
+}
+
+void Worker::enable_tx_timeline(Time bucket_width) {
+  if (bucket_width <= 0) throw std::invalid_argument("Worker: bucket width must be positive");
+  tx_bucket_width_ = bucket_width;
+  tx_buckets_.clear();
+}
+
+void Worker::record_tx(Time when) {
+  if (tx_bucket_width_ <= 0) return;
+  const auto bucket = static_cast<std::size_t>(when / tx_bucket_width_);
+  if (tx_buckets_.size() <= bucket) tx_buckets_.resize(bucket + 1, 0);
+  ++tx_buckets_[bucket];
+}
+
+std::uint32_t Worker::chunk_elems(std::uint64_t off) const {
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(config_.elems_per_packet, total_elems_ - off));
+}
+
+void Worker::start_reduction(std::span<const std::int32_t> update,
+                             std::span<std::int32_t> result,
+                             std::function<void()> on_complete) {
+  if (update.size() != result.size())
+    throw std::invalid_argument("Worker::start_reduction: update/result size mismatch");
+  if (config_.timing_only)
+    throw std::logic_error("Worker::start_reduction: data reduction on timing-only worker");
+  update_ = update;
+  result_ = result;
+  start_reduction(static_cast<std::uint64_t>(update.size()), std::move(on_complete));
+}
+
+void Worker::start_reduction(std::uint64_t total_elems, std::function<void()> on_complete) {
+  if (reduction_active())
+    throw std::logic_error("Worker::start_reduction: previous reduction still running");
+  if (total_elems == 0) {
+    // Degenerate but legal: nothing to aggregate.
+    if (on_complete) on_complete();
+    return;
+  }
+  if (uplink_ == nullptr) throw std::logic_error("Worker: no uplink configured");
+
+  total_elems_ = total_elems;
+  on_complete_ = std::move(on_complete);
+  const std::uint64_t chunks =
+      (total_elems + config_.elems_per_packet - 1) / config_.elems_per_packet;
+  remaining_chunks_ = chunks;
+  s_eff_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.pool_size, chunks));
+
+  // Algorithm 4 lines 1-8: fill the pool with the first s pieces.
+  for (std::uint32_t i = 0; i < s_eff_; ++i) {
+    slots_[i].off = static_cast<std::uint64_t>(i) * config_.elems_per_packet;
+    slots_[i].active = true;
+    slots_[i].retransmitted = false;
+    send_update(i, /*retransmission=*/false);
+  }
+}
+
+void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
+  Slot& slot = slots_[slot_index];
+  net::Packet p;
+  p.kind = net::PacketKind::SmlUpdate;
+  p.src = id();
+  p.dst = dst_resolver_ ? dst_resolver_(slot_index) : config_.switch_id;
+  p.job = config_.job;
+  p.wid = config_.wid;
+  p.ver = slot_ver_[slot_index];
+  p.idx = slot_index;
+  p.off = slot.off;
+  p.elem_count = chunk_elems(slot.off);
+  p.elem_bytes = config_.wire_elem_bytes;
+  if (!config_.timing_only && !update_.empty()) {
+    const auto first = static_cast<std::ptrdiff_t>(slot.off);
+    p.values.assign(update_.begin() + first, update_.begin() + first + p.elem_count);
+  }
+
+  p.seal();
+  ++counters_.updates_sent;
+  if (retransmission) {
+    ++counters_.retransmissions;
+    slot.retransmitted = true;
+  } else {
+    slot.retransmitted = false;
+  }
+
+  const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
+  slot.sent_at = sim_.now(); // RTT is measured end-to-end at the app layer
+  record_tx(wire_time);
+  uplink_->send_from(*this, std::move(p), wire_time);
+  if (!config_.lossless) arm_timer(slot_index);
+}
+
+void Worker::arm_timer(std::uint32_t slot_index) {
+  Slot& slot = slots_[slot_index];
+  // Exponential backoff is PER SLOT: repeated losses on one slot must not
+  // inflate the timers of healthy slots.
+  const int shift = std::min(slot.backoff, 10);
+  const Time rto = std::min<Time>(rto_ << shift, config_.rto_max);
+  slot.timer.cancel();
+  slot.timer = sim_.schedule_timer(rto, [this, slot_index] {
+    Slot& s = slots_[slot_index];
+    if (!s.active) return;
+    ++counters_.timeouts;
+    if (config_.adaptive_rto) ++s.backoff;
+    // Algorithm 4 timeout handler: resend the SAME (idx, ver, off) packet.
+    send_update(slot_index, /*retransmission=*/true);
+  });
+}
+
+void Worker::receive(net::Packet&& p, int /*port*/) {
+  if (p.kind != net::PacketKind::SmlResult) {
+    SML_LOG(Warn) << name() << ": unexpected packet kind " << net::to_string(p.kind);
+    return;
+  }
+  const int core = core_of(p.idx);
+  auto shared = std::make_shared<net::Packet>(std::move(p));
+  nic_.rx_process(core, shared->wire_bytes(),
+                  [this, shared]() mutable { handle_result(std::move(*shared)); });
+}
+
+void Worker::handle_result(net::Packet&& p) {
+  if (!p.verify()) {
+    // Corrupted on the wire: discard; the slot timer repairs it (§3.4).
+    ++counters_.checksum_drops;
+    return;
+  }
+  if (p.idx >= slots_.size()) {
+    SML_LOG(Warn) << name() << ": result for slot out of range";
+    return;
+  }
+  Slot& slot = slots_[p.idx];
+  // A result is current only if this slot still has that offset in flight.
+  // Anything else is a duplicate delivery (e.g., the multicast arriving after
+  // a unicast retransmission reply, or vice versa) and is ignored.
+  if (!slot.active || slot.off != p.off) {
+    ++counters_.duplicate_results;
+    return;
+  }
+
+  ++counters_.results_received;
+  slot.timer.cancel();
+  slot.active = false;
+  slot.backoff = 0;
+  ++slot.phases_completed;
+  if (!slot.retransmitted) rtt_sample(sim_.now() - slot.sent_at);
+
+  // Algorithm 4 line 12: consume the aggregated piece.
+  if (!config_.timing_only && !result_.empty() && !p.values.empty()) {
+    std::copy(p.values.begin(), p.values.end(),
+              result_.begin() + static_cast<std::ptrdiff_t>(p.off));
+  }
+  if (on_chunk_) on_chunk_(p.off, p.elem_count);
+
+  // Flip the pool version for this slot (the old copy becomes the shadow).
+  // Lossless mode (Algorithm 2) has a single pool version.
+  if (!config_.lossless) slot_ver_[p.idx] ^= 1;
+
+  // Lines 13-18: reuse the slot for the next piece, k*s elements ahead.
+  const std::uint64_t next_off =
+      slot.off + static_cast<std::uint64_t>(config_.elems_per_packet) * s_eff_;
+  if (next_off < total_elems_) {
+    slot.off = next_off;
+    slot.active = true;
+    send_update(p.idx, /*retransmission=*/false);
+  }
+
+  if (--remaining_chunks_ == 0) {
+    total_elems_ = 0;
+    update_ = {};
+    auto done = std::move(on_complete_);
+    on_complete_ = nullptr;
+    result_ = {};
+    if (done) done();
+  }
+}
+
+} // namespace switchml::worker

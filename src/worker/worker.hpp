@@ -1,0 +1,175 @@
+// SwitchML worker: the end-host side of the aggregation protocol
+// (Algorithms 2 and 4).
+//
+// Each worker manages the shared pool of s switch aggregators: it sends an
+// initial window of s update packets (one per slot), then operates fully
+// self-clocked — each received result releases its slot and triggers exactly
+// one new update packet for the next piece of the model (offset advanced by
+// k*s, version bit flipped). Packet loss is repaired solely by worker-side
+// retransmission timers; the switch's seen-bitmap/shadow-copy state makes
+// retransmission idempotent.
+//
+// The worker also models the paper's DPDK implementation details that matter
+// for performance (Appendix B): slots are sharded over NIC cores
+// Flow-Director-style (core = idx % cores), and every TX/RX packet charges
+// per-packet CPU time on its owning core.
+//
+// A worker processes int32 vectors; quantization to/from float happens in
+// the core library layer (core/allreduce) so this class stays a pure
+// transport state machine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/node.hpp"
+
+namespace switchml::worker {
+
+struct WorkerConfig {
+  std::uint16_t wid = 0;
+  int n_workers = 8;
+  std::uint32_t pool_size = 128;                                // s
+  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket; // k
+  std::uint8_t wire_elem_bytes = 4; // 4 = int32 wire format, 2 = fp16 (§3.7)
+  Time retransmit_timeout = msec(1);
+  // §6: "one should take care to adapt the retransmission timeout according
+  // to variations in end-to-end RTT". When enabled, the worker runs a
+  // Jacobson/Karels estimator (SRTT + 4*RTTVAR) seeded from
+  // retransmit_timeout, clamped to [rto_min, rto_max], with exponential
+  // backoff on repeated timeouts.
+  bool adaptive_rto = false;
+  Time rto_min = usec(150);
+  Time rto_max = msec(64);
+  net::NicConfig nic;
+  net::NodeId switch_id = 0;
+  std::uint8_t job = 0;
+  bool timing_only = false; // packets carry sizes but no values
+  // §3.2 lossless mode (Algorithm 2): the network guarantees delivery, so
+  // the worker runs without retransmission timers and without the version
+  // bit. Pair with an Algorithm-1 (lossless) switch.
+  bool lossless = false;
+};
+
+class Worker : public net::Node {
+public:
+  Worker(sim::Simulation& simulation, net::NodeId id, std::string name, WorkerConfig config);
+
+  void set_uplink(net::Link& link) { uplink_ = &link; }
+
+  // Overrides the per-slot destination. By default every update goes to the
+  // aggregation switch; the PS-like baseline (§5.3) instead shards slots over
+  // n software parameter servers (dst = ps[idx % n_ps]).
+  void set_destination_resolver(std::function<net::NodeId(std::uint32_t slot)> r) {
+    dst_resolver_ = std::move(r);
+  }
+
+  // Aggregates `update` (this worker's quantized model-update piece) with all
+  // other workers; the switch-aggregated sums are written to `result`.
+  // Both spans must stay alive until `on_complete` fires. All workers of the
+  // job must start a reduction of the same size.
+  void start_reduction(std::span<const std::int32_t> update, std::span<std::int32_t> result,
+                       std::function<void()> on_complete);
+
+  // Timing-only variant: no data is carried or stored.
+  void start_reduction(std::uint64_t total_elems, std::function<void()> on_complete);
+
+  // Optional per-chunk hook, fired as aggregated pieces arrive (used by the
+  // stream buffer manager for per-tensor completion).
+  void set_chunk_handler(std::function<void(std::uint64_t off, std::uint32_t count)> h) {
+    on_chunk_ = std::move(h);
+  }
+
+  void receive(net::Packet&& p, int port) override;
+
+  struct Counters {
+    std::uint64_t updates_sent = 0; // includes retransmissions
+    std::uint64_t retransmissions = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t results_received = 0;
+    std::uint64_t duplicate_results = 0;
+    std::uint64_t checksum_drops = 0; // corrupted results discarded (§3.4)
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // Per-packet RTT samples (send -> result), excluding retransmitted packets
+  // (Karn's rule). Used for Fig 2's right axis.
+  [[nodiscard]] const Summary& rtt() const { return rtt_; }
+
+  // Current retransmission timeout (adaptive or fixed).
+  [[nodiscard]] Time current_rto() const { return rto_; }
+
+  // Fig 6 support: per-bucket count of update packets put on the wire.
+  void enable_tx_timeline(Time bucket_width);
+  [[nodiscard]] const std::vector<std::uint64_t>& tx_timeline() const { return tx_buckets_; }
+  [[nodiscard]] Time tx_timeline_bucket() const { return tx_bucket_width_; }
+
+  [[nodiscard]] const WorkerConfig& config() const { return config_; }
+  [[nodiscard]] net::HostNic& nic() { return nic_; }
+  [[nodiscard]] bool reduction_active() const { return remaining_chunks_ > 0; }
+  // Highest phase any slot has completed minus lowest — the §3.5 invariant
+  // says this can never exceed 1 across workers; exposed for tests.
+  [[nodiscard]] std::uint64_t slot_phase(std::uint32_t slot) const {
+    return slots_[slot].phases_completed;
+  }
+
+private:
+  struct Slot {
+    std::uint64_t off = 0;   // offset currently in flight on this slot
+    bool active = false;     // a packet for `off` is outstanding
+    bool retransmitted = false;
+    int backoff = 0;         // per-slot exponential RTO backoff (adaptive mode)
+    Time sent_at = 0;
+    sim::TimerHandle timer;
+    std::uint64_t phases_completed = 0;
+  };
+
+  void send_update(std::uint32_t slot_index, bool retransmission);
+  void handle_result(net::Packet&& p);
+  void arm_timer(std::uint32_t slot_index);
+  void record_tx(Time when);
+  void rtt_sample(Time sample);
+  [[nodiscard]] std::uint32_t chunk_elems(std::uint64_t off) const;
+  [[nodiscard]] int core_of(std::uint32_t idx) const {
+    return static_cast<int>(idx % static_cast<std::uint32_t>(nic_.cores()));
+  }
+
+protected:
+  [[nodiscard]] net::Link* uplink() const { return uplink_; }
+
+private:
+  WorkerConfig config_;
+  net::HostNic nic_;
+  net::Link* uplink_ = nullptr;
+  std::function<net::NodeId(std::uint32_t)> dst_resolver_;
+
+  // Persistent across reductions: the single-bit pool version each slot will
+  // use next, mirroring the switch's two-pool state (Algorithm 4 `ver`).
+  std::vector<std::uint8_t> slot_ver_;
+
+  std::vector<Slot> slots_;
+  std::uint32_t s_eff_ = 0; // min(pool_size, chunks) for the current reduction
+  std::uint64_t total_elems_ = 0;
+  std::uint64_t remaining_chunks_ = 0;
+  std::span<const std::int32_t> update_;
+  std::span<std::int32_t> result_;
+  std::function<void()> on_complete_;
+  std::function<void(std::uint64_t, std::uint32_t)> on_chunk_;
+
+  Counters counters_;
+  Summary rtt_;
+  // Jacobson/Karels state (adaptive_rto).
+  Time rto_ = 0;
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool have_rtt_ = false;
+  Time tx_bucket_width_ = 0;
+  std::vector<std::uint64_t> tx_buckets_;
+};
+
+} // namespace switchml::worker

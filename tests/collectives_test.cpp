@@ -1,0 +1,325 @@
+// Baseline-collective tests: data correctness of ring, halving-doubling and
+// both parameter-server implementations (bulk and streaming), loss recovery,
+// and the timing relationships Fig 4 is built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "collectives/baseline_cluster.hpp"
+#include "collectives/bounds.hpp"
+#include "collectives/halving_doubling.hpp"
+#include "collectives/ps.hpp"
+#include "collectives/ring.hpp"
+#include "collectives/streaming_ps.hpp"
+#include "core/profiles.hpp"
+#include "sim/rng.hpp"
+
+namespace switchml::collectives {
+namespace {
+
+std::vector<std::vector<float>> random_buffers(int n, std::size_t d, std::uint64_t seed) {
+  sim::Rng rng = sim::Rng::stream(seed, "collective");
+  std::vector<std::vector<float>> b(static_cast<std::size_t>(n), std::vector<float>(d));
+  for (auto& v : b)
+    for (auto& e : v) e = static_cast<float>(rng.uniform_int(-1000, 1000));
+  return b;
+}
+
+std::vector<float> float_sum(const std::vector<std::vector<float>>& b) {
+  std::vector<float> s(b.front().size(), 0.0f);
+  for (const auto& v : b)
+    for (std::size_t i = 0; i < v.size(); ++i) s[i] += v[i];
+  return s;
+}
+
+BaselineClusterConfig small_cfg(int hosts) {
+  BaselineClusterConfig cfg;
+  cfg.n_hosts = hosts;
+  cfg.nic = core::gloo_tcp(gbps(10)).nic;
+  return cfg;
+}
+
+// --------------------------------------------------------------------- ring
+
+TEST(Ring, ComputesExactSums) {
+  BaselineCluster cluster(small_cfg(4));
+  auto buffers = random_buffers(4, 4096, 1);
+  const auto expect = float_sum(buffers);
+  RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+  const Time t = ring.run(buffers);
+  EXPECT_GT(t, 0);
+  for (int h = 0; h < 4; ++h) EXPECT_EQ(buffers[static_cast<std::size_t>(h)], expect);
+}
+
+TEST(Ring, WorksWithNonDivisibleSizes) {
+  BaselineCluster cluster(small_cfg(4));
+  auto buffers = random_buffers(4, 4097, 2); // not divisible by n
+  const auto expect = float_sum(buffers);
+  RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+  ring.run(buffers);
+  EXPECT_EQ(buffers[3], expect);
+}
+
+TEST(Ring, TwoHostsDegenerate) {
+  BaselineCluster cluster(small_cfg(2));
+  auto buffers = random_buffers(2, 1024, 3);
+  const auto expect = float_sum(buffers);
+  RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+  ring.run(buffers);
+  EXPECT_EQ(buffers[0], expect);
+}
+
+TEST(Ring, SurvivesUniformLoss) {
+  auto cfg = small_cfg(4);
+  cfg.loss_prob = 0.01;
+  BaselineCluster cluster(cfg);
+  auto buffers = random_buffers(4, 8192, 4);
+  const auto expect = float_sum(buffers);
+  RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+  ring.run(buffers);
+  EXPECT_EQ(buffers[0], expect);
+  EXPECT_GT(ring.counters().retransmissions, 0u);
+}
+
+TEST(Ring, LossInflatesCompletionTime) {
+  Time clean, lossy;
+  {
+    BaselineCluster cluster(small_cfg(4));
+    RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+    clean = ring.run(static_cast<std::int64_t>(4) * 1024 * 1024);
+  }
+  {
+    auto cfg = small_cfg(4);
+    cfg.loss_prob = 0.005;
+    BaselineCluster cluster(cfg);
+    RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+    lossy = ring.run(static_cast<std::int64_t>(4) * 1024 * 1024);
+  }
+  EXPECT_GT(lossy, clean);
+}
+
+// ---------------------------------------------------------- halving-doubling
+
+TEST(HalvingDoubling, ComputesExactSums) {
+  BaselineCluster cluster(small_cfg(8));
+  auto buffers = random_buffers(8, 4096, 5);
+  const auto expect = float_sum(buffers);
+  HalvingDoublingAllReduce hd(cluster, core::gloo_tcp(gbps(10)).transport);
+  hd.run(buffers);
+  for (int h = 0; h < 8; ++h) EXPECT_EQ(buffers[static_cast<std::size_t>(h)], expect);
+}
+
+TEST(HalvingDoubling, OddSizesAndSmallVectors) {
+  BaselineCluster cluster(small_cfg(4));
+  auto buffers = random_buffers(4, 37, 6);
+  const auto expect = float_sum(buffers);
+  HalvingDoublingAllReduce hd(cluster, core::gloo_tcp(gbps(10)).transport);
+  hd.run(buffers);
+  EXPECT_EQ(buffers[2], expect);
+}
+
+TEST(HalvingDoubling, RejectsNonPowerOfTwo) {
+  BaselineCluster cluster(small_cfg(6));
+  HalvingDoublingAllReduce hd(cluster, core::gloo_tcp(gbps(10)).transport);
+  EXPECT_THROW(hd.run(static_cast<std::int64_t>(4096)), std::invalid_argument);
+}
+
+TEST(HalvingDoubling, FewerRoundsThanRingForSmallTensors) {
+  // log2(n) vs 2(n-1) rounds: for latency-bound (tiny) tensors HD wins.
+  auto cfg = small_cfg(8);
+  Time t_ring, t_hd;
+  {
+    BaselineCluster cluster(cfg);
+    RingAllReduce ring(cluster, core::gloo_tcp(gbps(10)).transport);
+    t_ring = ring.run(static_cast<std::int64_t>(1024));
+  }
+  {
+    BaselineCluster cluster(cfg);
+    HalvingDoublingAllReduce hd(cluster, core::gloo_tcp(gbps(10)).transport);
+    t_hd = hd.run(static_cast<std::int64_t>(1024));
+  }
+  EXPECT_LT(t_hd, t_ring);
+}
+
+// ------------------------------------------------------------------- bulk PS
+
+TEST(BulkPs, DedicatedComputesExactSums) {
+  BaselineClusterConfig cfg = small_cfg(8); // 4 workers + 4 PS
+  cfg.nic = core::ps_host_nic(gbps(10));
+  BaselineCluster cluster(cfg);
+  auto buffers = random_buffers(4, 4096, 7);
+  const auto expect = float_sum(buffers);
+  ParameterServerAllReduce ps(cluster, 4, PsPlacement::Dedicated, core::ps_transport_mtu());
+  ps.run(buffers);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(buffers[static_cast<std::size_t>(w)], expect);
+}
+
+TEST(BulkPs, ColocatedComputesExactSums) {
+  BaselineClusterConfig cfg = small_cfg(4);
+  cfg.nic = core::ps_host_nic(gbps(10));
+  BaselineCluster cluster(cfg);
+  auto buffers = random_buffers(4, 4096, 8);
+  const auto expect = float_sum(buffers);
+  ParameterServerAllReduce ps(cluster, 4, PsPlacement::Colocated, core::ps_transport_mtu());
+  ps.run(buffers);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(buffers[static_cast<std::size_t>(w)], expect);
+}
+
+TEST(BulkPs, TooSmallClusterThrows) {
+  BaselineCluster cluster(small_cfg(4));
+  EXPECT_THROW(
+      ParameterServerAllReduce(cluster, 4, PsPlacement::Dedicated, core::ps_transport_mtu()),
+      std::invalid_argument);
+}
+
+// -------------------------------------------------------------- streaming PS
+
+StreamingPsConfig sps_cfg(int n, StreamingPsPlacement placement, double loss = 0.0) {
+  StreamingPsConfig cfg;
+  cfg.n_workers = n;
+  cfg.placement = placement;
+  cfg.pool_size = 16;
+  cfg.loss_prob = loss;
+  cfg.nic = core::ps_host_nic(gbps(10));
+  return cfg;
+}
+
+std::vector<std::vector<std::int32_t>> random_i32(int n, std::size_t d, std::uint64_t seed) {
+  sim::Rng rng = sim::Rng::stream(seed, "sps");
+  std::vector<std::vector<std::int32_t>> u(static_cast<std::size_t>(n),
+                                           std::vector<std::int32_t>(d));
+  for (auto& v : u)
+    for (auto& e : v) e = static_cast<std::int32_t>(rng.uniform_int(-100000, 100000));
+  return u;
+}
+
+std::vector<std::int32_t> i32_sum(const std::vector<std::vector<std::int32_t>>& u) {
+  std::vector<std::int32_t> s(u.front().size(), 0);
+  for (const auto& v : u)
+    for (std::size_t i = 0; i < v.size(); ++i) s[i] += v[i];
+  return s;
+}
+
+TEST(StreamingPs, DedicatedComputesExactSums) {
+  StreamingPsCluster cluster(sps_cfg(4, StreamingPsPlacement::Dedicated));
+  auto updates = random_i32(4, 8192, 9);
+  auto result = cluster.reduce_i32(updates);
+  const auto expect = i32_sum(updates);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(result.outputs[static_cast<std::size_t>(w)], expect);
+}
+
+TEST(StreamingPs, ColocatedComputesExactSums) {
+  StreamingPsCluster cluster(sps_cfg(4, StreamingPsPlacement::Colocated));
+  auto updates = random_i32(4, 8192, 10);
+  auto result = cluster.reduce_i32(updates);
+  const auto expect = i32_sum(updates);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(result.outputs[static_cast<std::size_t>(w)], expect);
+}
+
+TEST(StreamingPs, DedicatedSurvivesLoss) {
+  StreamingPsCluster cluster(sps_cfg(4, StreamingPsPlacement::Dedicated, 0.02));
+  auto updates = random_i32(4, 8192, 11);
+  auto result = cluster.reduce_i32(updates);
+  EXPECT_EQ(result.outputs[0], i32_sum(updates));
+}
+
+TEST(StreamingPs, ColocatedSurvivesLoss) {
+  StreamingPsCluster cluster(sps_cfg(3, StreamingPsPlacement::Colocated, 0.02));
+  auto updates = random_i32(3, 8192, 12);
+  auto result = cluster.reduce_i32(updates);
+  EXPECT_EQ(result.outputs[2], i32_sum(updates));
+}
+
+TEST(StreamingPs, ConsecutiveReductions) {
+  StreamingPsCluster cluster(sps_cfg(4, StreamingPsPlacement::Dedicated));
+  for (int round = 0; round < 3; ++round) {
+    auto updates = random_i32(4, 2048, 13 + static_cast<std::uint64_t>(round));
+    auto result = cluster.reduce_i32(updates);
+    ASSERT_EQ(result.outputs[0], i32_sum(updates)) << "round " << round;
+  }
+}
+
+// -------------------------------------------------- software aggregator unit
+
+TEST(SoftwareAggregator, MirrorsAlgorithm3Semantics) {
+  SoftwareAggregator agg(2, 4, /*timing_only=*/false);
+  net::Packet p;
+  p.kind = net::PacketKind::SmlUpdate;
+  p.idx = 1;
+  p.ver = 0;
+  p.elem_count = 2;
+  p.values = {10, 20};
+
+  p.wid = 0;
+  auto r0 = agg.process(p);
+  EXPECT_EQ(r0.kind, SoftwareAggregator::Outcome::Kind::Absorbed);
+
+  // Duplicate before completion: ignored.
+  auto dup = agg.process(p);
+  EXPECT_EQ(dup.kind, SoftwareAggregator::Outcome::Kind::Ignored);
+
+  p.wid = 1;
+  p.values = {1, 2};
+  auto r1 = agg.process(p);
+  ASSERT_EQ(r1.kind, SoftwareAggregator::Outcome::Kind::Completed);
+  EXPECT_EQ(r1.values, (std::vector<std::int32_t>{11, 22}));
+
+  // Duplicate after completion: replies with the stored aggregate.
+  p.wid = 0;
+  p.values = {10, 20};
+  auto replay = agg.process(p);
+  ASSERT_EQ(replay.kind, SoftwareAggregator::Outcome::Kind::ReplyStored);
+  EXPECT_EQ(replay.values, (std::vector<std::int32_t>{11, 22}));
+
+  EXPECT_EQ(agg.counters().completions, 1u);
+  EXPECT_EQ(agg.counters().duplicates, 2u);
+}
+
+TEST(SoftwareAggregator, RejectsInvalidConfiguration) {
+  EXPECT_THROW(SoftwareAggregator(0, 4, true), std::invalid_argument);
+  EXPECT_THROW(SoftwareAggregator(65, 4, true), std::invalid_argument);
+  SoftwareAggregator agg(2, 4, true);
+  net::Packet p;
+  p.idx = 4; // out of range
+  EXPECT_THROW(agg.process(p), std::runtime_error);
+}
+
+// ------------------------------------------------------------ Fig 4 relations
+
+TEST(Fig4Relations, ColocatedPsIsRoughlyHalfOfDedicated) {
+  const std::uint64_t elems = 256 * 1024;
+  auto run = [&](StreamingPsPlacement p) {
+    StreamingPsConfig cfg = sps_cfg(4, p);
+    cfg.pool_size = 128;
+    cfg.timing_only = true;
+    StreamingPsCluster cluster(cfg);
+    auto tats = cluster.reduce_timing(elems);
+    return static_cast<double>(elems) / to_sec(tats[0]);
+  };
+  const double dedicated = run(StreamingPsPlacement::Dedicated);
+  const double colocated = run(StreamingPsPlacement::Colocated);
+  EXPECT_GT(dedicated, colocated * 1.5);
+  EXPECT_LT(dedicated, colocated * 2.5);
+}
+
+TEST(Fig4Relations, LineRateBoundsAreOrdered) {
+  // SwitchML's bound beats the ring bound for every n > 2 at equal rate.
+  for (int n : {4, 8, 16})
+    EXPECT_GT(switchml_ate_rate(gbps(10), 32), ring_ate_rate(gbps(10), n));
+  // The ring bound decreases with n toward half the link's element rate.
+  EXPECT_GT(ring_ate_rate(gbps(10), 4), ring_ate_rate(gbps(10), 16));
+  // Colocated PS bound is about half the dedicated bound for large n.
+  EXPECT_NEAR(colocated_ps_ate_rate(gbps(10), 16, 128) * 2,
+              dedicated_ps_ate_rate(gbps(10), 128) * 16.0 / 15.0 * 31.0 / 32.0,
+              dedicated_ps_ate_rate(gbps(10), 128) * 0.1);
+}
+
+TEST(Fig4Relations, TatAtLineRateMatchesHandComputation) {
+  // 25e6 elements (100 MB) at 10 Gbps with 180-byte packets: 222.2e6 elem/s.
+  const double rate = switchml_ate_rate(gbps(10), 32);
+  EXPECT_NEAR(rate, 10e9 / 8.0 * (128.0 / 180.0) / 4.0, 1.0);
+  EXPECT_NEAR(tat_seconds_at(rate, 25'000'000), 0.1125, 0.001);
+}
+
+} // namespace
+} // namespace switchml::collectives

@@ -1,0 +1,109 @@
+// Tests for the shared utilities: summary statistics, table rendering,
+// time/bandwidth unit math.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace switchml {
+namespace {
+
+TEST(Units, SerializationTimeMatchesHandMath) {
+  // 180 bytes at 10 Gbps = 144 ns.
+  EXPECT_EQ(serialization_time(180, gbps(10)), 144);
+  // 1514 bytes at 10 Gbps = 1211.2 -> 1212 ns (rounded up).
+  EXPECT_EQ(serialization_time(1514, gbps(10)), 1212);
+  // 180 bytes at 100 Gbps = 14.4 -> 15 ns.
+  EXPECT_EQ(serialization_time(180, gbps(100)), 15);
+  EXPECT_EQ(serialization_time(0, gbps(10)), 0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_EQ(usec(3), 3000);
+  EXPECT_EQ(msec(2), 2'000'000);
+  EXPECT_EQ(sec(1), 1'000'000'000);
+  EXPECT_DOUBLE_EQ(to_usec(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_msec(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_sec(500'000'000), 0.5);
+}
+
+TEST(Summary, BasicStatistics) {
+  Summary s;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  for (int i = 1; i <= 4; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 4.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.5);
+  EXPECT_NEAR(s.percentile(25), 1.75, 1e-12);
+}
+
+TEST(Summary, MedianOfEvenCount) {
+  Summary s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 1.5);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.median(), std::logic_error);
+  EXPECT_EQ(s.str(), "(no samples)");
+}
+
+TEST(Summary, AddAllAndInterleavedReads) {
+  Summary s;
+  s.add_all({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  s.add(0.5); // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.min(), 0.5);
+}
+
+TEST(Summary, StddevMatchesHandComputation) {
+  Summary s;
+  s.add_all({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001); // sample stddev
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "2.5"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Every line has the same structure: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace switchml

@@ -1,0 +1,125 @@
+// Dataplane model tests: the Tofino-like constraints must actually bite.
+#include <gtest/gtest.h>
+
+#include "dataplane/pipeline.hpp"
+
+namespace switchml::dp {
+namespace {
+
+TEST(Pipeline, RegisterBytesAccounting) {
+  Pipeline p(12);
+  RegisterArray a(p, "a", 0, 128);
+  RegisterArray b(p, "b", 1, 64);
+  EXPECT_EQ(p.register_bytes(), (128u + 64u) * 8u);
+}
+
+TEST(Pipeline, StageOutOfRangeThrows) {
+  Pipeline p(4);
+  EXPECT_THROW(RegisterArray(p, "bad", 4, 8), std::invalid_argument);
+  EXPECT_THROW(RegisterArray(p, "bad", -1, 8), std::invalid_argument);
+}
+
+TEST(RegisterArray, RmwReturnsOldValueAndStoresNew) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  p.begin_packet();
+  EXPECT_EQ(r.rmw(2, [](std::uint64_t v) { return v + 5; }), 0u);
+  p.begin_packet();
+  EXPECT_EQ(r.read(2), 5u);
+}
+
+TEST(RegisterArray, DoubleAccessInOnePacketThrows) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  p.begin_packet();
+  r.read(0);
+  EXPECT_THROW(r.read(1), std::logic_error);
+}
+
+TEST(RegisterArray, AccessAllowedAgainNextPacket) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  p.begin_packet();
+  r.read(0);
+  p.begin_packet();
+  EXPECT_NO_THROW(r.read(0));
+}
+
+TEST(RegisterArray, BackwardsStageAccessThrows) {
+  Pipeline p(4);
+  RegisterArray early(p, "early", 0, 4);
+  RegisterArray late(p, "late", 2, 4);
+  p.begin_packet();
+  late.read(0);
+  EXPECT_THROW(early.read(0), std::logic_error);
+}
+
+TEST(RegisterArray, ForwardStageAccessAllowed) {
+  Pipeline p(4);
+  RegisterArray early(p, "early", 0, 4);
+  RegisterArray mid(p, "mid", 1, 4);
+  RegisterArray late(p, "late", 3, 4);
+  p.begin_packet();
+  early.read(0);
+  mid.read(0);
+  EXPECT_NO_THROW(late.read(0));
+}
+
+TEST(RegisterArray, SameStageTwoArraysAllowed) {
+  Pipeline p(4);
+  RegisterArray x(p, "x", 1, 4);
+  RegisterArray y(p, "y", 1, 4);
+  p.begin_packet();
+  x.read(0);
+  EXPECT_NO_THROW(y.read(0));
+}
+
+TEST(RegisterArray, OutOfRangeIndexThrows) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  p.begin_packet();
+  EXPECT_THROW(r.read(4), std::out_of_range);
+}
+
+TEST(RegisterArray, ControlPlaneFill) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  r.control_plane_fill(0xAB);
+  p.begin_packet();
+  EXPECT_EQ(r.read(3), 0xABu);
+}
+
+TEST(Halves, PackAndUnpackVersions) {
+  std::uint64_t w = 0;
+  w = half_set(w, 0, 0x1111);
+  w = half_set(w, 1, 0x2222);
+  EXPECT_EQ(half_get(w, 0), 0x1111u);
+  EXPECT_EQ(half_get(w, 1), 0x2222u);
+  // Updating one half leaves the other intact.
+  w = half_set(w, 0, 0x3333);
+  EXPECT_EQ(half_get(w, 1), 0x2222u);
+}
+
+TEST(Halves, SignedInterpretationWrapsCorrectly) {
+  std::uint64_t w = 0;
+  w = half_store_i32(w, 1, -123);
+  EXPECT_EQ(half_as_i32(w, 1), -123);
+  EXPECT_EQ(half_as_i32(w, 0), 0);
+  w = half_store_i32(w, 0, INT32_MIN);
+  EXPECT_EQ(half_as_i32(w, 0), INT32_MIN);
+  EXPECT_EQ(half_as_i32(w, 1), -123);
+}
+
+TEST(Pipeline, CountsPacketsAndAccesses) {
+  Pipeline p(2);
+  RegisterArray r(p, "r", 0, 4);
+  for (int i = 0; i < 3; ++i) {
+    p.begin_packet();
+    r.read(0);
+  }
+  EXPECT_EQ(p.packets_processed(), 3u);
+  EXPECT_EQ(p.register_accesses(), 3u);
+}
+
+} // namespace
+} // namespace switchml::dp

@@ -1,0 +1,204 @@
+// ML substrate tests: gradient correctness (numerical check), training
+// convergence, dataset generation, and the quantized-aggregation training
+// properties behind Fig 10.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/dataset.hpp"
+#include "ml/mlp.hpp"
+#include "ml/trainer.hpp"
+#include "quant/fixed_point.hpp"
+
+namespace switchml::ml {
+namespace {
+
+TEST(Dataset, BlobsHaveRequestedShape) {
+  sim::Rng rng = sim::Rng::stream(1, "ds");
+  auto d = make_blobs(100, 8, 3, 2.0, 0.5, rng);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.X.size(), 800u);
+  for (int y : d.y) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 3);
+  }
+}
+
+TEST(Dataset, SplitPreservesSamples) {
+  sim::Rng rng = sim::Rng::stream(2, "ds");
+  auto d = make_blobs(100, 4, 2, 2.0, 0.5, rng);
+  auto [a, b] = split(d, 0.8);
+  EXPECT_EQ(a.size(), 80u);
+  EXPECT_EQ(b.size(), 20u);
+  EXPECT_EQ(a.X.size() + b.X.size(), d.X.size());
+}
+
+TEST(Dataset, ShardsCoverAllData) {
+  sim::Rng rng = sim::Rng::stream(3, "ds");
+  auto d = make_blobs(103, 4, 2, 2.0, 0.5, rng);
+  std::size_t total = 0;
+  for (int w = 0; w < 4; ++w) total += shard(d, w, 4).size();
+  EXPECT_EQ(total, d.size());
+}
+
+TEST(Dataset, SeparatedBlobsAreLinearlySeparableIsh) {
+  sim::Rng rng = sim::Rng::stream(4, "ds");
+  auto d = make_blobs(500, 16, 4, 6.0, 0.3, rng);
+  // With separation >> noise a fresh MLP should learn quickly.
+  sim::Rng mrng = sim::Rng::stream(5, "mlp");
+  Mlp mlp(16, 32, 4, mrng);
+  std::vector<float> grad(mlp.n_params());
+  for (int it = 0; it < 200; ++it) {
+    mlp.loss_and_gradient(d.X, d.y, grad);
+    mlp.apply_gradient(grad, 0.5);
+  }
+  EXPECT_GT(mlp.accuracy(d.X, d.y), 0.95);
+}
+
+TEST(Mlp, GradientMatchesNumericalDifferentiation) {
+  sim::Rng rng = sim::Rng::stream(6, "grad");
+  Mlp mlp(5, 7, 3, rng);
+  const std::size_t batch = 4;
+  std::vector<float> X(batch * 5);
+  std::vector<int> y(batch);
+  for (auto& v : X) v = static_cast<float>(rng.normal(0.0, 1.0));
+  for (auto& l : y) l = static_cast<int>(rng.uniform_int(0, 2));
+
+  std::vector<float> grad(mlp.n_params());
+  mlp.loss_and_gradient(X, y, grad);
+
+  // Central differences on a sample of parameters.
+  const double eps = 1e-3;
+  sim::Rng pick = sim::Rng::stream(7, "pick");
+  for (int k = 0; k < 25; ++k) {
+    const auto i =
+        static_cast<std::size_t>(pick.uniform_int(0, static_cast<std::int64_t>(mlp.n_params()) - 1));
+    const float saved = mlp.params()[i];
+    mlp.params()[i] = static_cast<float>(saved + eps);
+    std::vector<float> tmp(mlp.n_params());
+    const double lp = mlp.loss_and_gradient(X, y, tmp);
+    mlp.params()[i] = static_cast<float>(saved - eps);
+    const double lm = mlp.loss_and_gradient(X, y, tmp);
+    mlp.params()[i] = saved;
+    const double numeric = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(numeric, grad[i], 2e-2 * std::max(1.0, std::abs(numeric)))
+        << "param " << i;
+  }
+}
+
+TEST(Mlp, LossDecreasesUnderSgd) {
+  sim::Rng rng = sim::Rng::stream(8, "sgd");
+  auto d = make_blobs(400, 8, 3, 3.0, 1.0, rng);
+  Mlp mlp(8, 16, 3, rng);
+  std::vector<float> grad(mlp.n_params());
+  const double first = mlp.loss_and_gradient(d.X, d.y, grad);
+  for (int it = 0; it < 100; ++it) {
+    mlp.loss_and_gradient(d.X, d.y, grad);
+    mlp.apply_gradient(grad, 0.2);
+  }
+  std::vector<float> tmp(mlp.n_params());
+  EXPECT_LT(mlp.loss_and_gradient(d.X, d.y, tmp), first * 0.5);
+}
+
+TEST(Mlp, InvalidInputsThrow) {
+  sim::Rng rng = sim::Rng::stream(9, "bad");
+  Mlp mlp(4, 8, 2, rng);
+  std::vector<float> X(4);
+  std::vector<int> bad_label = {5};
+  std::vector<float> grad(mlp.n_params());
+  EXPECT_THROW(mlp.loss_and_gradient(X, bad_label, grad), std::invalid_argument);
+  EXPECT_THROW(Mlp(0, 8, 2, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ trainer
+
+struct TrainerFixture : public ::testing::Test {
+  TrainerFixture() : rng(sim::Rng::stream(10, "trainer")) {
+    auto full = make_blobs(1600, 16, 4, 3.0, 1.0, rng);
+    auto [tr, te] = split(full, 0.8);
+    train_set = std::move(tr);
+    test_set = std::move(te);
+    tc.n_workers = 4;
+    tc.hidden_dim = 32;
+    tc.batch_per_worker = 16;
+    tc.lr = 0.1;
+  }
+  sim::Rng rng;
+  Dataset train_set, test_set;
+  TrainerConfig tc;
+};
+
+TEST_F(TrainerFixture, ExactAggregationLearns) {
+  DataParallelTrainer t(train_set, test_set, tc);
+  ExactAggregator agg;
+  auto r = t.train(300, agg);
+  EXPECT_GT(r.final_test_accuracy, 0.8);
+  EXPECT_GT(r.max_abs_gradient, 0.0f);
+  EXPECT_LT(r.loss_per_iter.back(), r.loss_per_iter.front());
+}
+
+TEST_F(TrainerFixture, QuantizedMatchesExactForGoodScalingFactor) {
+  DataParallelTrainer te_(train_set, test_set, tc);
+  ExactAggregator exact;
+  const auto base = te_.train(300, exact);
+
+  const double f = quant::max_safe_scaling_factor(4, base.max_abs_gradient * 2.0);
+  DataParallelTrainer tq(train_set, test_set, tc);
+  QuantizedAggregator q(f);
+  const auto quant_r = tq.train(300, q);
+  EXPECT_NEAR(quant_r.final_test_accuracy, base.final_test_accuracy, 0.05);
+}
+
+TEST_F(TrainerFixture, QuantizedPlateauAcrossOrdersOfMagnitude) {
+  // Fig 10: accuracy is flat over a wide range of f.
+  DataParallelTrainer probe(train_set, test_set, tc);
+  ExactAggregator exact;
+  const auto base = probe.train(200, exact);
+  const double f_max = quant::max_safe_scaling_factor(4, base.max_abs_gradient * 2.0);
+
+  for (double rel : {1e-4, 1e-2, 1.0}) {
+    DataParallelTrainer t(train_set, test_set, tc);
+    QuantizedAggregator q(f_max * rel);
+    const auto r = t.train(200, q);
+    EXPECT_GT(r.final_test_accuracy, base.final_test_accuracy - 0.08) << "rel " << rel;
+  }
+}
+
+TEST_F(TrainerFixture, OverflowRegimeDegradesTraining) {
+  // Fig 10's right edge: f far beyond the Theorem-2 limit wraps the integer
+  // sums and the conversion saturates to the int-indefinite value; training
+  // must do clearly worse than baseline.
+  DataParallelTrainer probe(train_set, test_set, tc);
+  ExactAggregator exact;
+  const auto base = probe.train(200, exact);
+  const double f_max = quant::max_safe_scaling_factor(4, base.max_abs_gradient * 2.0);
+
+  DataParallelTrainer t(train_set, test_set, tc);
+  QuantizedAggregator q(f_max * 1e4);
+  const auto r = t.train(200, q);
+  EXPECT_LT(r.final_test_accuracy, base.final_test_accuracy - 0.2);
+}
+
+TEST_F(TrainerFixture, StochasticInt8ConvergesCloseToExact) {
+  // The 8-bit extension: unbiased dithered quantization still learns.
+  DataParallelTrainer probe(train_set, test_set, tc);
+  ExactAggregator exact;
+  const auto base = probe.train(300, exact);
+
+  DataParallelTrainer t(train_set, test_set, tc);
+  StochasticInt8Aggregator agg(77);
+  const auto r = t.train(300, agg);
+  EXPECT_GT(r.final_test_accuracy, base.final_test_accuracy - 0.08);
+}
+
+TEST_F(TrainerFixture, UnderflowRegimeStopsLearning) {
+  // Fig 10's left edge: tiny f quantizes every gradient to zero.
+  DataParallelTrainer t(train_set, test_set, tc);
+  QuantizedAggregator q(1e-12);
+  const auto r = t.train(200, q);
+  // Accuracy stays at chance level (4 classes -> ~25%).
+  EXPECT_LT(r.final_test_accuracy, 0.45);
+}
+
+} // namespace
+} // namespace switchml::ml

@@ -1,0 +1,612 @@
+// Network substrate tests: packet wire sizes, link timing/queueing/loss,
+// NIC core model, L2 switch forwarding/multicast, reliable transport.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/l2switch.hpp"
+#include "net/link.hpp"
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "net/reliable.hpp"
+
+namespace switchml::net {
+namespace {
+
+TEST(Packet, SwitchMlUpdateIs180Bytes) {
+  // §3.4: k = 32 elements, 180-byte packets.
+  Packet p;
+  p.kind = PacketKind::SmlUpdate;
+  p.elem_count = 32;
+  p.elem_bytes = 4;
+  EXPECT_EQ(p.wire_bytes(), 180u);
+}
+
+TEST(Packet, MtuVariantIs1516Bytes) {
+  // §5.5: 366 elements in a 1516-byte packet.
+  Packet p;
+  p.kind = PacketKind::SmlResult;
+  p.elem_count = 366;
+  p.elem_bytes = 4;
+  EXPECT_EQ(p.wire_bytes(), 1516u);
+}
+
+TEST(Packet, Fp16HalvesPayload) {
+  Packet p;
+  p.kind = PacketKind::SmlUpdate;
+  p.elem_count = 32;
+  p.elem_bytes = 2;
+  EXPECT_EQ(p.wire_bytes(), 52u + 64u);
+}
+
+TEST(Packet, SegmentAndAckSizes) {
+  Packet seg;
+  seg.kind = PacketKind::Segment;
+  seg.seg_len = 1460;
+  EXPECT_EQ(seg.wire_bytes(), 1514u);
+  Packet ack;
+  ack.kind = PacketKind::Ack;
+  EXPECT_EQ(ack.wire_bytes(), 64u);
+}
+
+TEST(Packet, ChecksumDetectsPayloadAndHeaderMutations) {
+  Packet p;
+  p.kind = PacketKind::SmlUpdate;
+  p.wid = 3;
+  p.idx = 7;
+  p.off = 1234;
+  p.values = {1, -2, 3};
+  p.seal();
+  EXPECT_TRUE(p.verify());
+  p.values[1] ^= 0x10;
+  EXPECT_FALSE(p.verify());
+  p.values[1] ^= 0x10;
+  EXPECT_TRUE(p.verify());
+  p.off ^= 1;
+  EXPECT_FALSE(p.verify());
+}
+
+// Collects delivered packets with timestamps.
+class SinkNode : public Node {
+public:
+  using Node::Node;
+  void receive(Packet&& p, int port) override {
+    arrivals.emplace_back(sim_.now(), port, std::move(p));
+  }
+  std::vector<std::tuple<Time, int, Packet>> arrivals;
+};
+
+Packet raw_packet(std::uint32_t len, NodeId src = 0, NodeId dst = 1) {
+  Packet p;
+  p.kind = PacketKind::Segment;
+  p.seg_len = len;
+  p.src = src;
+  p.dst = dst;
+  return p;
+}
+
+class LinkFixture : public ::testing::Test {
+protected:
+  sim::Simulation sim;
+  SinkNode a{sim, 0, "a"};
+  SinkNode b{sim, 1, "b"};
+  LinkConfig cfg;
+};
+
+TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
+  cfg.rate = gbps(10);
+  cfg.propagation = nsec(500);
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  Packet p = raw_packet(1460 - kSegmentHeaderBytes); // 1460-byte frame
+  const Time ser = serialization_time(p.wire_bytes(), cfg.rate);
+  link.send_from(a, std::move(p));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<0>(b.arrivals[0]), ser + cfg.propagation);
+}
+
+TEST_F(LinkFixture, BackToBackPacketsSerialize) {
+  cfg.rate = gbps(10);
+  cfg.propagation = 0;
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  const Time ser = serialization_time(raw_packet(946).wire_bytes(), cfg.rate); // 1000B
+  link.send_from(a, raw_packet(946));
+  link.send_from(a, raw_packet(946));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(std::get<0>(b.arrivals[0]), ser);
+  EXPECT_EQ(std::get<0>(b.arrivals[1]), 2 * ser);
+}
+
+TEST_F(LinkFixture, EarliestStartDelaysTransmission) {
+  cfg.rate = gbps(10);
+  cfg.propagation = 0;
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  Packet p = raw_packet(946);
+  const Time ser = serialization_time(p.wire_bytes(), cfg.rate);
+  link.send_from(a, std::move(p), usec(5));
+  sim.run();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(std::get<0>(b.arrivals[0]), usec(5) + ser);
+}
+
+TEST_F(LinkFixture, FullDuplexDirectionsAreIndependent) {
+  cfg.rate = gbps(10);
+  cfg.propagation = 0;
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  link.send_from(a, raw_packet(946));
+  link.send_from(b, raw_packet(946));
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  // Same delivery time: no contention between directions.
+  EXPECT_EQ(std::get<0>(a.arrivals[0]), std::get<0>(b.arrivals[0]));
+}
+
+TEST_F(LinkFixture, QueueOverflowDropsTail) {
+  cfg.rate = gbps(1);
+  cfg.queue_limit_bytes = 3000;
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  for (int i = 0; i < 5; ++i) link.send_from(a, raw_packet(946)); // 1000B each
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 3u);
+  EXPECT_EQ(link.counters_from(a).dropped_queue, 2u);
+}
+
+TEST_F(LinkFixture, BacklogDrainsOverTime) {
+  cfg.rate = gbps(1);
+  cfg.queue_limit_bytes = 3000;
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  for (int i = 0; i < 3; ++i) link.send_from(a, raw_packet(946));
+  // After the first 3 serialize (8us each at 1 Gbps), there is room again.
+  sim.schedule_at(usec(50), [&] { link.send_from(a, raw_packet(946)); });
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 4u);
+  EXPECT_EQ(link.counters_from(a).dropped_queue, 0u);
+}
+
+TEST_F(LinkFixture, BernoulliLossDropsApproximatelyPRate) {
+  cfg.rate = gbps(100);
+  cfg.loss_prob = 0.1;
+  cfg.queue_limit_bytes = 64 * kMiB; // the burst must not tail-drop
+  Link link(sim, cfg, a, 0, b, 0, 7);
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) link.send_from(a, raw_packet(60));
+  sim.run();
+  const double delivered = static_cast<double>(b.arrivals.size()) / n;
+  EXPECT_NEAR(delivered, 0.9, 0.01);
+  EXPECT_EQ(link.counters_from(a).dropped_loss + b.arrivals.size(), static_cast<std::size_t>(n));
+}
+
+TEST_F(LinkFixture, DropFilterInjectsDeterministicLoss) {
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  int dropped = 0;
+  link.set_drop_filter([&](const Node& sender, const Packet& p) {
+    if (&sender == &a && p.seq == 1) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    Packet p = raw_packet(100);
+    p.seq = s;
+    link.send_from(a, std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 2u);
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST_F(LinkFixture, NonEndpointSenderThrows) {
+  Link link(sim, cfg, a, 0, b, 0, 1);
+  SinkNode c{sim, 2, "c"};
+  EXPECT_THROW(link.send_from(c, raw_packet(10)), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- NIC
+
+TEST(HostNic, TxReservesCoreTimeSequentially) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 1;
+  cfg.per_packet_tx = nsec(100);
+  cfg.per_batch_overhead = 0;
+  cfg.tx_latency = 0;
+  cfg.rx_latency = 0;
+  HostNic nic(sim, cfg);
+  EXPECT_EQ(nic.tx_ready(0), 100);
+  EXPECT_EQ(nic.tx_ready(0), 200); // same core: serialized
+}
+
+TEST(HostNic, CoresAreIndependent) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 2;
+  cfg.per_packet_tx = nsec(100);
+  cfg.per_batch_overhead = 0;
+  cfg.tx_latency = 0;
+  HostNic nic(sim, cfg);
+  EXPECT_EQ(nic.tx_ready(0), 100);
+  EXPECT_EQ(nic.tx_ready(1), 100);
+}
+
+TEST(HostNic, PerByteCostScalesWithSize) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 1;
+  cfg.per_packet_tx = nsec(100);
+  cfg.per_byte_tx = 1.0;
+  cfg.per_batch_overhead = 0;
+  cfg.tx_latency = 0;
+  HostNic nic(sim, cfg);
+  EXPECT_EQ(nic.tx_ready(0, 50), 150);
+}
+
+TEST(HostNic, BatchOverheadIsAmortized) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 1;
+  cfg.per_packet_tx = nsec(10);
+  cfg.per_batch_overhead = nsec(320);
+  cfg.batch_size = 32;
+  cfg.tx_latency = 0;
+  HostNic nic(sim, cfg);
+  EXPECT_EQ(nic.tx_ready(0), 20); // 10 + 320/32
+}
+
+TEST(HostNic, TxLatencyDelaysWireWithoutOccupyingCore) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 1;
+  cfg.per_packet_tx = nsec(100);
+  cfg.per_batch_overhead = 0;
+  cfg.tx_latency = usec(4);
+  HostNic nic(sim, cfg);
+  EXPECT_EQ(nic.tx_ready(0), 100 + usec(4));
+  EXPECT_EQ(nic.tx_ready(0), 200 + usec(4)); // core only blocked 100ns per pkt
+}
+
+TEST(HostNic, RxProcessSchedulesAfterCoreAndLatency) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 1;
+  cfg.per_packet_rx = nsec(100);
+  cfg.per_batch_overhead = 0;
+  cfg.rx_latency = nsec(50);
+  HostNic nic(sim, cfg);
+  Time delivered = -1;
+  nic.rx_process(0, 0, [&] { delivered = sim.now(); });
+  sim.run();
+  EXPECT_EQ(delivered, 150);
+}
+
+TEST(HostNic, InvalidConfigThrows) {
+  sim::Simulation sim;
+  NicConfig cfg;
+  cfg.cores = 0;
+  EXPECT_THROW(HostNic(sim, cfg), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- L2 switch
+
+TEST(L2Switch, ForwardsByDestination) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"}, b{sim, 2, "b"};
+  L2Switch sw(sim, 100, "sw", nsec(400));
+  LinkConfig lc;
+  Link la(sim, lc, a, 0, sw, 0, 1);
+  Link lb(sim, lc, b, 0, sw, 1, 2);
+  sw.attach(0, la);
+  sw.attach(1, lb);
+  la.send_from(a, raw_packet(100, 1, 2));
+  sim.run();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_TRUE(a.arrivals.empty());
+}
+
+TEST(L2Switch, MulticastReplicatesToGroupPorts) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"}, b{sim, 2, "b"}, c{sim, 3, "c"};
+  L2Switch sw(sim, 100, "sw", nsec(400));
+  LinkConfig lc;
+  Link la(sim, lc, a, 0, sw, 0, 1);
+  Link lb(sim, lc, b, 0, sw, 1, 2);
+  Link lcx(sim, lc, c, 0, sw, 2, 3);
+  sw.attach(0, la);
+  sw.attach(1, lb);
+  sw.attach(2, lcx);
+  sw.add_multicast_group(7, {0, 1, 2});
+  sw.multicast(7, raw_packet(100, 1, 0));
+  sim.run();
+  EXPECT_EQ(a.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(c.arrivals.size(), 1u);
+  // Multicast copies carry the per-port destination.
+  EXPECT_EQ(std::get<2>(b.arrivals[0]).dst, 2u);
+}
+
+TEST(L2Switch, UnknownMulticastGroupThrows) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"};
+  L2Switch sw(sim, 100, "sw");
+  LinkConfig lc;
+  Link la(sim, lc, a, 0, sw, 0, 1);
+  sw.attach(0, la);
+  EXPECT_THROW(sw.multicast(42, raw_packet(100, 1, 0)), std::runtime_error);
+}
+
+TEST(L2Switch, UnknownDestinationThrows) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"};
+  L2Switch sw(sim, 100, "sw");
+  LinkConfig lc;
+  Link la(sim, lc, a, 0, sw, 0, 1);
+  sw.attach(0, la);
+  la.send_from(a, raw_packet(100, 1, 99));
+  EXPECT_THROW(sim.run(), std::runtime_error);
+}
+
+// -------------------------------------------------------------- reliable
+
+struct TransportPair {
+  sim::Simulation sim;
+  L2Switch sw{sim, 100, "sw", nsec(400)};
+  NicConfig nic_cfg;
+  std::unique_ptr<TransportHost> a;
+  std::unique_ptr<TransportHost> b;
+  std::unique_ptr<Link> la;
+  std::unique_ptr<Link> lb;
+
+  explicit TransportPair(double loss = 0.0, BitsPerSecond rate = gbps(10)) {
+    nic_cfg.per_packet_tx = nsec(100);
+    nic_cfg.per_packet_rx = nsec(100);
+    nic_cfg.per_batch_overhead = 0;
+    nic_cfg.tx_latency = nsec(500);
+    nic_cfg.rx_latency = nsec(500);
+    a = std::make_unique<TransportHost>(sim, 1, "a", nic_cfg);
+    b = std::make_unique<TransportHost>(sim, 2, "b", nic_cfg);
+    LinkConfig lc;
+    lc.rate = rate;
+    lc.loss_prob = loss;
+    la = std::make_unique<Link>(sim, lc, *a, 0, sw, 0, 11);
+    lb = std::make_unique<Link>(sim, lc, *b, 0, sw, 1, 12);
+    a->set_uplink(*la);
+    b->set_uplink(*lb);
+    sw.attach(0, *la);
+    sw.attach(1, *lb);
+  }
+};
+
+TEST(Reliable, TransfersAllBytesInOrder) {
+  TransportPair t;
+  TransportProfile prof;
+  bool done = false;
+  std::int64_t received = 0;
+  std::uint64_t expected_seq = 0;
+  ReliableReceiver rx(*t.b, 1, 42, 1'000'000,
+                      [&](std::uint64_t seq, std::uint32_t len, std::span<const float>) {
+                        EXPECT_EQ(seq, expected_seq);
+                        expected_seq += len;
+                        received += len;
+                      },
+                      [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 42, prof, nullptr);
+  tx.start(1'000'000);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(received, 1'000'000);
+  EXPECT_TRUE(tx.done());
+}
+
+TEST(Reliable, CarriesFloatPayloads) {
+  TransportPair t;
+  TransportProfile prof;
+  std::vector<float> data(10'000);
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<float>(i) * 0.5f;
+  std::vector<float> got(data.size(), -1.0f);
+  bool done = false;
+  ReliableReceiver rx(*t.b, 1, 7, static_cast<std::int64_t>(data.size()) * 4,
+                      [&](std::uint64_t seq, std::uint32_t len, std::span<const float> vals) {
+                        ASSERT_EQ(vals.size(), len / 4);
+                        std::copy(vals.begin(), vals.end(), got.begin() + static_cast<std::ptrdiff_t>(seq / 4));
+                      },
+                      [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 7, prof, nullptr);
+  tx.start(static_cast<std::int64_t>(data.size()) * 4, data);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(got, data);
+}
+
+TEST(Reliable, RecoversFromHeavyLoss) {
+  TransportPair t(/*loss=*/0.05);
+  TransportProfile prof;
+  prof.rto_initial = msec(1);
+  bool done = false;
+  ReliableReceiver rx(*t.b, 1, 9, 500'000, nullptr, [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 9, prof, nullptr);
+  tx.start(500'000);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GT(tx.counters().retransmissions, 0u);
+}
+
+TEST(Reliable, ThroughputApproachesLineRateWhenWindowExceedsBdp) {
+  TransportPair t;
+  TransportProfile prof;
+  prof.window_bytes = 1024 * 1024;
+  bool done = false;
+  const std::int64_t bytes = 10'000'000;
+  ReliableReceiver rx(*t.b, 1, 5, bytes, nullptr, [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 5, prof, nullptr);
+  const Time t0 = t.sim.now();
+  tx.start(bytes);
+  t.sim.run();
+  ASSERT_TRUE(done);
+  const double secs = to_sec(t.sim.now() - t0);
+  const double gbps_achieved = static_cast<double>(bytes) * 8.0 / secs / 1e9;
+  EXPECT_GT(gbps_achieved, 8.0); // 10G link, ~4% header overhead
+  EXPECT_LT(gbps_achieved, 10.0);
+}
+
+TEST(Reliable, SmallWindowLimitsThroughput) {
+  TransportPair t;
+  TransportProfile prof;
+  prof.window_bytes = 2 * 1460; // two segments
+  bool done = false;
+  const std::int64_t bytes = 1'000'000;
+  ReliableReceiver rx(*t.b, 1, 5, bytes, nullptr, [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 5, prof, nullptr);
+  tx.start(bytes);
+  t.sim.run();
+  ASSERT_TRUE(done);
+  const double secs = to_sec(t.sim.now());
+  const double gbps_achieved = static_cast<double>(bytes) * 8.0 / secs / 1e9;
+  EXPECT_LT(gbps_achieved, 5.0); // window-bound, well below line rate
+}
+
+TEST(Reliable, EmptyTransferThrows) {
+  TransportPair t;
+  TransportProfile prof;
+  ReliableSender tx(*t.a, 2, 5, prof, nullptr);
+  EXPECT_THROW(tx.start(0), std::invalid_argument);
+}
+
+TEST(Reliable, FastRetransmitRecoversWithoutWaitingForRto) {
+  TransportPair t;
+  TransportProfile prof;
+  prof.rto_initial = msec(50); // make the RTO path obviously slow
+  prof.window_bytes = 64 * 1024;
+  // Drop exactly one mid-stream segment; dup-ACKs must repair it quickly.
+  bool dropped = false;
+  t.la->set_drop_filter([&](const Node& sender, const Packet& p) {
+    if (!dropped && p.kind == PacketKind::Segment && p.seq == 5 * 1460 && sender.id() == 1) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  bool done = false;
+  ReliableReceiver rx(*t.b, 1, 6, 200'000, nullptr, [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 6, prof, nullptr);
+  tx.start(200'000);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_GE(tx.counters().fast_retransmits, 1u);
+  EXPECT_EQ(tx.counters().timeouts, 0u); // never needed the 50 ms timer
+  EXPECT_LT(t.sim.now(), msec(10));
+}
+
+TEST(Reliable, RtoBacksOffExponentiallyUnderBlackout) {
+  TransportPair t;
+  TransportProfile prof;
+  prof.rto_initial = msec(1);
+  prof.rto_max = msec(8);
+  // Black out the first 20 ms entirely.
+  t.la->set_drop_filter([&](const Node&, const Packet& p) {
+    return p.kind == PacketKind::Segment && t.sim.now() < msec(20);
+  });
+  bool done = false;
+  ReliableReceiver rx(*t.b, 1, 8, 10'000, nullptr, [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 8, prof, nullptr);
+  tx.start(10'000);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  // With exponential backoff capped at 8 ms, the 20 ms blackout costs a
+  // handful of timeouts (1+2+4+8+8 = 23 ms), not 20.
+  EXPECT_GE(tx.counters().timeouts, 4u);
+  EXPECT_LE(tx.counters().timeouts, 8u);
+}
+
+TEST(Reliable, OutOfOrderSegmentsAreBufferedAndOnlyTheHoleIsResent) {
+  // SACK-like receiver: losing the first segment leaves the other 15
+  // buffered; exactly one retransmission repairs the stream.
+  TransportPair t(/*loss=*/0.0);
+  TransportProfile prof;
+  prof.window_bytes = 16 * 1460;
+  bool dropped = false;
+  t.la->set_drop_filter([&](const Node& sender, const Packet& p) {
+    if (!dropped && p.kind == PacketKind::Segment && p.seq == 0 && sender.id() == 1) {
+      dropped = true;
+      return true;
+    }
+    return false;
+  });
+  bool done = false;
+  std::uint64_t expected_seq = 0;
+  ReliableReceiver rx(*t.b, 1, 9, 16 * 1460,
+                      [&](std::uint64_t seq, std::uint32_t len, std::span<const float>) {
+                        EXPECT_EQ(seq, expected_seq); // delivery stays in order
+                        expected_seq += len;
+                      },
+                      [&] { done = true; });
+  ReliableSender tx(*t.a, 2, 9, prof, nullptr);
+  tx.start(16 * 1460);
+  t.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(tx.counters().segments_sent, 17u); // 16 + the one hole
+  EXPECT_EQ(tx.counters().retransmissions, 1u);
+  EXPECT_EQ(rx.buffered_segments(), 0u);
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, RecordsAndFiltersEvents) {
+  Tracer tr;
+  tr.set_filter([](const TraceEvent& e) { return e.kind != TraceEventKind::Deliver; });
+  TraceEvent tx;
+  tx.kind = TraceEventKind::Tx;
+  TraceEvent del;
+  del.kind = TraceEventKind::Deliver;
+  tr.record(tx);
+  tr.record(del);
+  ASSERT_EQ(tr.events().size(), 1u);
+  EXPECT_EQ(tr.events()[0].kind, TraceEventKind::Tx);
+}
+
+TEST(Tracer, CapacityBoundsMemory) {
+  Tracer tr;
+  tr.set_capacity(3);
+  for (int i = 0; i < 10; ++i) tr.record(TraceEvent{});
+  EXPECT_EQ(tr.events().size(), 3u);
+  EXPECT_EQ(tr.dropped_records(), 7u);
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+  EXPECT_EQ(tr.dropped_records(), 0u);
+}
+
+TEST(Tracer, LinkEmitsTxAndDeliverPairs) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"}, b{sim, 2, "b"};
+  LinkConfig lc;
+  Link link(sim, lc, a, 0, b, 0, 1);
+  Tracer tr;
+  link.set_tracer(&tr);
+  link.send_from(a, raw_packet(100, 1, 2));
+  sim.run();
+  ASSERT_EQ(tr.events().size(), 2u);
+  EXPECT_EQ(tr.events()[0].kind, TraceEventKind::Tx);
+  EXPECT_EQ(tr.events()[1].kind, TraceEventKind::Deliver);
+  EXPECT_EQ(tr.events()[0].from, 1u);
+  EXPECT_EQ(tr.events()[0].to, 2u);
+}
+
+TEST(Tracer, LinkEmitsDropEvents) {
+  sim::Simulation sim;
+  SinkNode a{sim, 1, "a"}, b{sim, 2, "b"};
+  LinkConfig lc;
+  Link link(sim, lc, a, 0, b, 0, 1);
+  Tracer tr;
+  link.set_tracer(&tr);
+  link.set_drop_filter([](const Node&, const Packet&) { return true; });
+  link.send_from(a, raw_packet(100, 1, 2));
+  sim.run();
+  ASSERT_EQ(tr.events().size(), 2u); // TX then DROP-LOSS
+  EXPECT_EQ(tr.events()[1].kind, TraceEventKind::DropLoss);
+  EXPECT_TRUE(b.arrivals.empty());
+}
+
+} // namespace
+} // namespace switchml::net

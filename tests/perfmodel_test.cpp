@@ -1,0 +1,108 @@
+// Performance-model tests: model zoo integrity, throughput-estimate math,
+// monotonicity properties, and consistency with the paper's published
+// Table 1 anchors.
+#include <gtest/gtest.h>
+
+#include "perfmodel/model_zoo.hpp"
+#include "perfmodel/training_model.hpp"
+
+namespace switchml::perf {
+namespace {
+
+TEST(ModelZoo, HasAllNineFig3Models) {
+  EXPECT_EQ(model_zoo().size(), 9u);
+  for (const char* name : {"alexnet", "googlenet", "inception3", "inception4", "resnet50",
+                           "resnet101", "vgg11", "vgg16", "vgg19"})
+    EXPECT_NO_THROW(model(name));
+}
+
+TEST(ModelZoo, UnknownModelThrows) { EXPECT_THROW(model("resnet152"), std::invalid_argument); }
+
+TEST(ModelZoo, VggModelsAreCommunicationHeavy) {
+  // The paper's premise: vgg* have far more parameters per unit compute.
+  const auto& vgg = model("vgg16");
+  const auto& inception = model("inception3");
+  const double vgg_ratio = static_cast<double>(vgg.parameters) * vgg.single_gpu_images_per_s;
+  const double inc_ratio =
+      static_cast<double>(inception.parameters) * inception.single_gpu_images_per_s;
+  EXPECT_GT(vgg_ratio, 2 * inc_ratio);
+}
+
+TEST(ModelZoo, Table1RowsMatchPaperConstants) {
+  auto rows = table1_rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "inception3");
+  EXPECT_DOUBLE_EQ(rows[0].ideal, 1132.0);
+  EXPECT_DOUBLE_EQ(rows[0].multi_gpu, 1079.0);
+  EXPECT_DOUBLE_EQ(rows[2].multi_gpu, 898.0);
+}
+
+TEST(TrainingModel, ZeroCommunicationGivesIdealScaling) {
+  const auto& spec = model("resnet50");
+  const auto e = estimate_training(spec, 8, 1e18);
+  EXPECT_NEAR(e.images_per_s, ideal_images_per_s(spec, 8), 1.0);
+}
+
+TEST(TrainingModel, ThroughputIncreasesWithAggregationRate) {
+  const auto& spec = model("vgg16");
+  double prev = 0;
+  for (double rate : {1e7, 5e7, 1e8, 5e8}) {
+    const auto e = estimate_training(spec, 8, rate);
+    EXPECT_GT(e.images_per_s, prev);
+    prev = e.images_per_s;
+  }
+}
+
+TEST(TrainingModel, ExposedCommNeverNegative) {
+  const auto& spec = model("googlenet");
+  const auto e = estimate_training(spec, 8, 1e12);
+  EXPECT_DOUBLE_EQ(e.exposed_comm_s, 0.0);
+}
+
+TEST(TrainingModel, PerTensorOverheadSlowsManyLayerModels) {
+  const auto& r101 = model("resnet101"); // 314 tensors
+  const auto fast = estimate_training(r101, 8, 1e8, 0, 0.0);
+  const auto slow = estimate_training(r101, 8, 1e8, 0, 1e-3);
+  EXPECT_GT(fast.images_per_s, slow.images_per_s * 1.1);
+}
+
+TEST(TrainingModel, BatchSizeOverrideChangesComputeTime) {
+  const auto& spec = model("inception3");
+  const auto b64 = estimate_training(spec, 8, 2e8, 64);
+  const auto b128 = estimate_training(spec, 8, 2e8, 128);
+  EXPECT_NEAR(b128.t_compute_s, 2 * b64.t_compute_s, 1e-9);
+}
+
+TEST(TrainingModel, InvalidArgumentsThrow) {
+  const auto& spec = model("vgg19");
+  EXPECT_THROW(estimate_training(spec, 0, 1e8), std::invalid_argument);
+  EXPECT_THROW(estimate_training(spec, 8, 0.0), std::invalid_argument);
+}
+
+TEST(TrainingModel, SwitchMlBeatsNcclForEveryZooModel) {
+  // Fig 3's headline: with SwitchML's measured rate (~220M elem/s at 10G)
+  // vs NCCL's (~75M), every model speeds up, comm-bound ones the most.
+  double min_speedup = 1e9, max_speedup = 0;
+  std::string min_name, max_name;
+  for (const auto& spec : model_zoo()) {
+    const auto sml = estimate_training(spec, 8, 220e6, 0, kSwitchMlPerTensorOverheadS);
+    const auto nccl = estimate_training(spec, 8, 75e6, 0, kRingPerTensorOverheadS);
+    const double speedup = sml.images_per_s / nccl.images_per_s;
+    EXPECT_GE(speedup, 1.0) << spec.name;
+    if (speedup < min_speedup) {
+      min_speedup = speedup;
+      min_name = spec.name;
+    }
+    if (speedup > max_speedup) {
+      max_speedup = speedup;
+      max_name = spec.name;
+    }
+  }
+  // The most communication-bound families gain the most (paper: 20%-300%).
+  EXPECT_TRUE(max_name.substr(0, 3) == "vgg" || max_name == "alexnet") << max_name;
+  EXPECT_GT(max_speedup, 1.7);
+  EXPECT_LT(min_speedup, 1.4);
+}
+
+} // namespace
+} // namespace switchml::perf

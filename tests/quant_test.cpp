@@ -1,0 +1,274 @@
+// Quantization tests: roundtrip accuracy, Theorem 1/2 properties,
+// x86 conversion semantics, float16 correctness, fp16 lookup tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "quant/fixed_point.hpp"
+#include "quant/float16.hpp"
+#include "sim/rng.hpp"
+
+namespace switchml::quant {
+namespace {
+
+TEST(FixedPoint, RoundToNearestEven) {
+  EXPECT_EQ(round_to_i32(2.5), 2);
+  EXPECT_EQ(round_to_i32(3.5), 4);
+  EXPECT_EQ(round_to_i32(-2.5), -2);
+  EXPECT_EQ(round_to_i32(1.49), 1);
+  EXPECT_EQ(round_to_i32(1.51), 2);
+}
+
+TEST(FixedPoint, OutOfRangeProducesIntegerIndefinite) {
+  // x86 CVTPS2DQ semantics: overflow -> INT32_MIN.
+  EXPECT_EQ(round_to_i32(3e9), kIntIndefinite);
+  EXPECT_EQ(round_to_i32(-3e9), kIntIndefinite);
+  EXPECT_EQ(round_to_i32(std::numeric_limits<double>::quiet_NaN()), kIntIndefinite);
+}
+
+TEST(FixedPoint, QuantizeDequantizeRoundtrip) {
+  std::vector<float> x = {1.56f, 4.23f, -0.001f, 0.0f, -7.9f};
+  const double f = 1000.0;
+  auto q = quantize(x, f);
+  auto back = dequantize(q, f);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1.0 / f);
+}
+
+TEST(FixedPoint, PaperAppendixCExample) {
+  // Appendix C worked example: deltas 1.56 and 4.23.
+  std::vector<float> d1 = {1.56f}, d2 = {4.23f};
+  {
+    const double f = 100.0;
+    auto q1 = quantize(d1, f), q2 = quantize(d2, f);
+    EXPECT_EQ(q1[0], 156);
+    EXPECT_EQ(q2[0], 423);
+    EXPECT_NEAR(static_cast<double>(q1[0] + q2[0]) / f, 5.79, 1e-9);
+  }
+  {
+    const double f = 10.0;
+    auto q1 = quantize(d1, f), q2 = quantize(d2, f);
+    EXPECT_EQ(q1[0], 16);
+    EXPECT_EQ(q2[0], 42);
+    EXPECT_NEAR(static_cast<double>(q1[0] + q2[0]) / f, 5.8, 1e-9);
+  }
+}
+
+TEST(FixedPoint, HtonlNtohlInvolution) {
+  std::vector<std::int32_t> v = {0, 1, -1, 0x12345678, static_cast<std::int32_t>(0xDEADBEEF)};
+  auto original = v;
+  htonl_inplace(v);
+  EXPECT_NE(v[3], original[3]); // actually swapped on little-endian hosts
+  ntohl_inplace(v);
+  EXPECT_EQ(v, original);
+}
+
+TEST(FixedPoint, MaxSafeScalingFactorMatchesTheorem2) {
+  // f <= (2^31 - n) / (n B)
+  EXPECT_NEAR(max_safe_scaling_factor(8, 10.0), (2147483648.0 - 8) / 80.0, 1e-6);
+  EXPECT_NEAR(max_safe_scaling_factor(1, 1.0), 2147483647.0, 1.0);
+}
+
+TEST(FixedPoint, ErrorBoundMatchesTheorem1) {
+  EXPECT_DOUBLE_EQ(aggregation_error_bound(8, 100.0), 0.08);
+}
+
+TEST(FixedPoint, InvalidArgumentsThrow) {
+  EXPECT_THROW(max_safe_scaling_factor(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(max_safe_scaling_factor(8, 0.0), std::invalid_argument);
+  EXPECT_THROW(aggregation_error_bound(8, 0.0), std::invalid_argument);
+}
+
+TEST(FixedPoint, ChooseScalingFactorHandlesZeroGradient) {
+  std::vector<float> zeros(16, 0.0f);
+  EXPECT_GT(choose_scaling_factor(zeros, 8), 0.0);
+}
+
+TEST(FixedPoint, AccumulateWrapsLikeSwitchAlu) {
+  std::vector<std::int32_t> acc = {INT32_MAX};
+  std::vector<std::int32_t> one = {1};
+  accumulate_wrapping(acc, one);
+  EXPECT_EQ(acc[0], INT32_MIN); // two's-complement wraparound
+}
+
+// Property test: Theorem 1 — for safe f, |exact_sum - quantized_sum / f| <= n/f.
+class TheoremProperty : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(TheoremProperty, AggregationErrorIsBounded) {
+  const auto [n, magnitude] = GetParam();
+  sim::Rng rng = sim::Rng::stream(99, "theorem");
+  const std::size_t d = 256;
+
+  std::vector<std::vector<float>> updates(static_cast<std::size_t>(n));
+  float max_abs = 0.0f;
+  for (auto& u : updates) {
+    u.resize(d);
+    for (auto& v : u) {
+      v = static_cast<float>(rng.normal(0.0, magnitude));
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+  // Back off an epsilon from the Theorem 2 limit: at exactly f = (2^31-n)/nB
+  // the rounded value can reach 2^31 - n + 1, which for n = 1 is one past
+  // INT32_MAX (the theorem's bound |rho(f d)| <= 2^31 is not representable).
+  const double f = max_safe_scaling_factor(n, static_cast<double>(max_abs)) * (1.0 - 1e-9);
+  const double bound = aggregation_error_bound(n, f);
+
+  std::vector<std::int32_t> acc(d, 0);
+  std::vector<std::int32_t> q(d);
+  std::vector<double> exact(d, 0.0);
+  for (const auto& u : updates) {
+    quantize(u, f, q);
+    for (std::size_t i = 0; i < d; ++i) {
+      // Theorem 2: no individual value overflows...
+      ASSERT_NE(q[i], kIntIndefinite);
+      // ...and no partial sum overflows (checked via 64-bit shadow).
+      const std::int64_t wide = static_cast<std::int64_t>(acc[i]) + q[i];
+      ASSERT_LE(std::abs(wide), 2147483648ll);
+    }
+    accumulate_wrapping(acc, q);
+    for (std::size_t i = 0; i < d; ++i) exact[i] += static_cast<double>(u[i]);
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    const double ours = static_cast<double>(acc[i]) / f;
+    EXPECT_LE(std::abs(ours - exact[i]), bound + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepWorkersAndMagnitudes, TheoremProperty,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8, 16, 32),
+                                            ::testing::Values(1e-6, 1e-3, 1.0, 1e3, 1e6)));
+
+// --------------------------------------------------------------- int8 dither
+
+TEST(Int8Stochastic, ValuesStayInRange) {
+  sim::Rng rng = sim::Rng::stream(200, "i8");
+  std::vector<float> x(1000);
+  for (auto& v : x) v = static_cast<float>(rng.normal(0.0, 5.0));
+  std::vector<std::int32_t> q(x.size());
+  quantize_i8_stochastic(x, 1000.0, q, rng); // deliberately huge f: must clamp
+  for (auto v : q) {
+    EXPECT_GE(v, -127);
+    EXPECT_LE(v, 127);
+  }
+}
+
+TEST(Int8Stochastic, RoundingIsUnbiased) {
+  sim::Rng rng = sim::Rng::stream(201, "i8u");
+  const float x = 0.37f; // f*x = 3.7: rounds to 3 or 4
+  std::vector<float> in = {x};
+  std::vector<std::int32_t> q(1);
+  double total = 0;
+  const int trials = 40'000;
+  for (int t = 0; t < trials; ++t) {
+    quantize_i8_stochastic(in, 10.0, q, rng);
+    EXPECT_TRUE(q[0] == 3 || q[0] == 4);
+    total += q[0];
+  }
+  EXPECT_NEAR(total / trials, 3.7, 0.02); // E[rho(x)] = x
+}
+
+TEST(Int8Stochastic, ExactIntegersAreDeterministic) {
+  sim::Rng rng = sim::Rng::stream(202, "i8d");
+  std::vector<float> in = {2.0f, -3.0f, 0.0f};
+  std::vector<std::int32_t> q(3);
+  quantize_i8_stochastic(in, 1.0, q, rng);
+  EXPECT_EQ(q, (std::vector<std::int32_t>{2, -3, 0}));
+}
+
+TEST(Int8Stochastic, SafeScalingFactorKeepsRange) {
+  const double f = max_safe_scaling_factor_i8(4.2);
+  EXPECT_LE(f * 4.2, 127.0);
+  EXPECT_THROW(max_safe_scaling_factor_i8(0.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ float16
+
+TEST(Float16, KnownValues) {
+  EXPECT_EQ(float_to_half(0.0f), 0x0000);
+  EXPECT_EQ(float_to_half(-0.0f), 0x8000);
+  EXPECT_EQ(float_to_half(1.0f), 0x3C00);
+  EXPECT_EQ(float_to_half(-2.0f), 0xC000);
+  EXPECT_EQ(float_to_half(65504.0f), 0x7BFF); // max finite half
+  EXPECT_EQ(float_to_half(1e30f), 0x7C00);    // overflow -> +inf
+  EXPECT_EQ(float_to_half(-1e30f), 0xFC00);   // overflow -> -inf
+}
+
+TEST(Float16, HalfToFloatKnownValues) {
+  EXPECT_FLOAT_EQ(half_to_float(0x3C00), 1.0f);
+  EXPECT_FLOAT_EQ(half_to_float(0xC000), -2.0f);
+  EXPECT_FLOAT_EQ(half_to_float(0x7BFF), 65504.0f);
+  EXPECT_FLOAT_EQ(half_to_float(0x0001), 5.960464477539063e-8f); // min subnormal
+  EXPECT_TRUE(std::isinf(half_to_float(0x7C00)));
+  EXPECT_TRUE(std::isnan(half_to_float(0x7E00)));
+}
+
+TEST(Float16, RoundtripAllFiniteHalves) {
+  // Every finite half must survive half -> float -> half exactly.
+  for (std::uint32_t h = 0; h < 65536; ++h) {
+    const auto exp = (h >> 10) & 0x1F;
+    if (exp == 0x1F) continue; // skip inf/NaN
+    const float f = half_to_float(static_cast<half>(h));
+    EXPECT_EQ(float_to_half(f), static_cast<half>(h)) << "half bits " << h;
+  }
+}
+
+TEST(Float16, RoundToNearestEvenOnConversion) {
+  // 1.0 + 2^-11 is exactly halfway between two halves; must round to even.
+  const float halfway = 1.0f + std::ldexp(1.0f, -11);
+  EXPECT_EQ(float_to_half(halfway), 0x3C00); // rounds down to 1.0 (even mantissa)
+  const float above = 1.0f + std::ldexp(1.5f, -11);
+  EXPECT_EQ(float_to_half(above), 0x3C01);
+}
+
+TEST(Float16, SubnormalUnderflowToZero) {
+  EXPECT_EQ(float_to_half(1e-10f), 0x0000);
+  EXPECT_EQ(float_to_half(-1e-10f), 0x8000);
+}
+
+TEST(Float16, VectorConversionMatchesScalar) {
+  sim::Rng rng = sim::Rng::stream(5, "fp16");
+  std::vector<float> in(1000);
+  for (auto& v : in) v = static_cast<float>(rng.normal(0.0, 10.0));
+  std::vector<half> hs(in.size());
+  std::vector<float> out(in.size());
+  float_to_half(in, hs);
+  half_to_float(hs, out);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(hs[i], float_to_half(in[i]));
+    // half has ~3 decimal digits; relative error < 2^-10
+    EXPECT_NEAR(out[i], in[i], std::abs(in[i]) * 0.001f + 1e-6f);
+  }
+}
+
+TEST(Fp16Table, ConvertsToFixedPoint) {
+  Fp16Table t(8); // 8 fractional bits
+  EXPECT_EQ(t.to_fixed(float_to_half(1.0f)), 256);
+  EXPECT_EQ(t.to_fixed(float_to_half(-2.0f)), -512);
+  EXPECT_EQ(t.to_fixed(float_to_half(0.0f)), 0);
+  EXPECT_EQ(t.table_bytes(), 65536u * 4u);
+}
+
+TEST(Fp16Table, RoundtripThroughFixed) {
+  Fp16Table t(12);
+  for (float v : {0.5f, -1.25f, 3.75f, 100.0f, -0.0625f}) {
+    const half h = float_to_half(v);
+    const std::int32_t fixed = t.to_fixed(h);
+    EXPECT_EQ(t.to_half(fixed), h) << v;
+  }
+}
+
+TEST(Fp16Table, SaturatesInsteadOfWrapping) {
+  Fp16Table t(30);
+  // 65504 * 2^30 overflows int32: the table must saturate.
+  EXPECT_EQ(t.to_fixed(float_to_half(65504.0f)), INT32_MAX);
+  EXPECT_EQ(t.to_fixed(float_to_half(-65504.0f)), INT32_MIN);
+}
+
+TEST(Fp16Table, InvalidFracBitsThrow) {
+  EXPECT_THROW(Fp16Table(-1), std::invalid_argument);
+  EXPECT_THROW(Fp16Table(31), std::invalid_argument);
+}
+
+} // namespace
+} // namespace switchml::quant

@@ -1,0 +1,185 @@
+// Unit tests for the discrete-event engine: ordering, timers, cancellation,
+// determinism of named RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace switchml::sim {
+namespace {
+
+TEST(Simulation, RunsEventsInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Simulation, SameTimeEventsRunFifo) {
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulation, ScheduleAfterIsRelative) {
+  Simulation s;
+  Time seen = -1;
+  s.schedule_at(100, [&] { s.schedule_after(50, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation s;
+  s.schedule_at(100, [&] {
+    EXPECT_THROW(s.schedule_at(50, [] {}), std::invalid_argument);
+  });
+  s.run();
+}
+
+TEST(Simulation, NestedEventsFromHandlers) {
+  Simulation s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_after(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99);
+}
+
+TEST(Simulation, TimerCancellationPreventsExecution) {
+  Simulation s;
+  bool fired = false;
+  TimerHandle t = s.schedule_timer(100, [&] { fired = true; });
+  s.schedule_at(50, [&] { t.cancel(); });
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Simulation, TimerFiresWhenNotCancelled) {
+  Simulation s;
+  bool fired = false;
+  TimerHandle t = s.schedule_timer(100, [&] { fired = true; });
+  EXPECT_TRUE(t.armed());
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, CancelAfterFireIsHarmless) {
+  Simulation s;
+  TimerHandle t = s.schedule_timer(10, [] {});
+  s.run();
+  t.cancel(); // no-op
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Simulation, DefaultTimerHandleIsInert) {
+  TimerHandle t;
+  EXPECT_FALSE(t.armed());
+  t.cancel(); // must not crash
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) s.schedule_at(i * 10, [&] { ++count; });
+  s.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 50);
+  s.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation s;
+  s.run_until(1234);
+  EXPECT_EQ(s.now(), 1234);
+}
+
+TEST(Simulation, StopHaltsTheLoop) {
+  Simulation s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    s.schedule_at(i, [&] {
+      if (++count == 3) s.stop();
+    });
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending_events(), 7u);
+}
+
+TEST(Simulation, CountsExecutedEvents) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 5u);
+}
+
+TEST(Rng, NamedStreamsAreDeterministic) {
+  Rng a = Rng::stream(1, "loss");
+  Rng b = Rng::stream(1, "loss");
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentLabelsGiveDifferentStreams) {
+  Rng a = Rng::stream(1, "loss-a");
+  Rng b = Rng::stream(1, "loss-b");
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DifferentSeedsGiveDifferentStreams) {
+  Rng a = Rng::stream(1, "x");
+  Rng b = Rng::stream(2, "x");
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i)
+    if (r.chance(0.01)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.01, 0.003);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(3);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    lo |= v == 0;
+    hi |= v == 3;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+} // namespace
+} // namespace switchml::sim

@@ -1,0 +1,108 @@
+// §6 multi-job (tenancy) tests: per-job pool isolation, admission control
+// against the SRAM budget, eviction, and concurrent-job independence.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace switchml::core {
+namespace {
+
+TEST(Tenancy, JobsAggregateIndependently) {
+  MultiJobConfig cfg;
+  cfg.n_jobs = 3;
+  cfg.workers_per_job = 2;
+  cfg.pool_size = 8;
+  MultiJobCluster cluster(cfg);
+
+  for (int j = 0; j < 3; ++j) {
+    std::vector<std::vector<std::int32_t>> updates(
+        2, std::vector<std::int32_t>(1024, (j + 1) * 10));
+    auto r = cluster.reduce_i32(j, updates);
+    for (auto v : r.outputs[0]) ASSERT_EQ(v, (j + 1) * 20) << "job " << j;
+  }
+}
+
+TEST(Tenancy, ConcurrentJobsDoNotInterfere) {
+  // Per-job TAT with 4 concurrent jobs matches a solo run: jobs have
+  // disjoint workers/links and their own aggregator pools.
+  const std::uint64_t elems = 64 * 1024;
+  auto median_tat = [&](int jobs) {
+    MultiJobConfig cfg;
+    cfg.n_jobs = jobs;
+    cfg.workers_per_job = 4;
+    cfg.timing_only = true;
+    MultiJobCluster cluster(cfg);
+    auto tats = cluster.reduce_timing_all(elems);
+    Summary s;
+    for (const auto& jt : tats)
+      for (Time t : jt) s.add(to_msec(t));
+    return s.median();
+  };
+  const double solo = median_tat(1);
+  const double four = median_tat(4);
+  EXPECT_NEAR(four, solo, solo * 0.02);
+}
+
+TEST(Tenancy, AdmissionRejectsDuplicateJobIds) {
+  sim::Simulation sim;
+  swprog::AggregationConfig cfg;
+  swprog::AggregationSwitch sw(sim, 1, "sw", cfg);
+  swprog::JobParams p;
+  EXPECT_FALSE(sw.admit_job(0, p)); // job 0 exists from construction
+  EXPECT_TRUE(sw.admit_job(1, p));
+  EXPECT_FALSE(sw.admit_job(1, p));
+}
+
+TEST(Tenancy, AdmissionEnforcesSramBudget) {
+  sim::Simulation sim;
+  swprog::AggregationConfig cfg;
+  cfg.pool_size = 128;
+  // Budget fits exactly two 128-slot jobs: (2+32)*128*8 = 34816 B each.
+  cfg.sram_budget_bytes = 2 * 34816;
+  swprog::AggregationSwitch sw(sim, 1, "sw", cfg);
+  swprog::JobParams p;
+  p.pool_size = 128;
+  EXPECT_TRUE(sw.admit_job(1, p));
+  EXPECT_FALSE(sw.admit_job(2, p)); // budget exhausted
+  EXPECT_EQ(sw.sram_free_bytes(), 0u);
+}
+
+TEST(Tenancy, EvictionFreesSram) {
+  sim::Simulation sim;
+  swprog::AggregationConfig cfg;
+  cfg.pool_size = 128;
+  cfg.sram_budget_bytes = 2 * 34816;
+  swprog::AggregationSwitch sw(sim, 1, "sw", cfg);
+  swprog::JobParams p;
+  p.pool_size = 128;
+  ASSERT_TRUE(sw.admit_job(1, p));
+  ASSERT_FALSE(sw.admit_job(2, p));
+  sw.evict_job(1);
+  EXPECT_FALSE(sw.has_job(1));
+  EXPECT_TRUE(sw.admit_job(2, p)); // freed SRAM is reusable
+}
+
+TEST(Tenancy, UnknownJobPacketsAreDropped) {
+  MultiJobConfig cfg;
+  cfg.n_jobs = 1;
+  cfg.workers_per_job = 2;
+  cfg.pool_size = 8;
+  MultiJobCluster cluster(cfg);
+  // Evict job 0, then try to reduce: packets must be counted as unknown-job
+  // drops and the reduction never completes.
+  cluster.agg_switch().evict_job(0);
+  std::vector<std::int32_t> u(64, 1), out(64);
+  cluster.worker(0, 0).start_reduction(u, out, nullptr);
+  cluster.simulation().run_until(msec(5));
+  EXPECT_GT(cluster.agg_switch().counters().unknown_job_drops, 0u);
+}
+
+TEST(Tenancy, SwitchConstructorRejectsOversizedJob0) {
+  sim::Simulation sim;
+  swprog::AggregationConfig cfg;
+  cfg.pool_size = 1 << 20; // 34 MB of registers > 4 MiB budget
+  EXPECT_THROW(swprog::AggregationSwitch(sim, 1, "sw", cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace switchml::core
