@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_congestion"
+  "../bench/ablation_congestion.pdb"
+  "CMakeFiles/ablation_congestion.dir/ablation_congestion.cpp.o"
+  "CMakeFiles/ablation_congestion.dir/ablation_congestion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_congestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cores"
+  "../bench/ablation_cores.pdb"
+  "CMakeFiles/ablation_cores.dir/ablation_cores.cpp.o"
+  "CMakeFiles/ablation_cores.dir/ablation_cores.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hierarchy"
+  "../bench/ablation_hierarchy.pdb"
+  "CMakeFiles/ablation_hierarchy.dir/ablation_hierarchy.cpp.o"
+  "CMakeFiles/ablation_hierarchy.dir/ablation_hierarchy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_protocol"
+  "../bench/ablation_protocol.pdb"
+  "CMakeFiles/ablation_protocol.dir/ablation_protocol.cpp.o"
+  "CMakeFiles/ablation_protocol.dir/ablation_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tenancy"
+  "../bench/ablation_tenancy.pdb"
+  "CMakeFiles/ablation_tenancy.dir/ablation_tenancy.cpp.o"
+  "CMakeFiles/ablation_tenancy.dir/ablation_tenancy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_tenancy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_quantization"
+  "../bench/fig10_quantization.pdb"
+  "CMakeFiles/fig10_quantization.dir/fig10_quantization.cpp.o"
+  "CMakeFiles/fig10_quantization.dir/fig10_quantization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

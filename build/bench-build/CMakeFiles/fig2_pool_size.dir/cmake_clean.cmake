@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_pool_size"
+  "../bench/fig2_pool_size.pdb"
+  "CMakeFiles/fig2_pool_size.dir/fig2_pool_size.cpp.o"
+  "CMakeFiles/fig2_pool_size.dir/fig2_pool_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_pool_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_loss_inflation"
+  "../bench/fig5_loss_inflation.pdb"
+  "CMakeFiles/fig5_loss_inflation.dir/fig5_loss_inflation.cpp.o"
+  "CMakeFiles/fig5_loss_inflation.dir/fig5_loss_inflation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loss_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

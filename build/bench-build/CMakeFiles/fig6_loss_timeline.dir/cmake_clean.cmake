@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_loss_timeline"
+  "../bench/fig6_loss_timeline.pdb"
+  "CMakeFiles/fig6_loss_timeline.dir/fig6_loss_timeline.cpp.o"
+  "CMakeFiles/fig6_loss_timeline.dir/fig6_loss_timeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_loss_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_mtu"
+  "../bench/fig7_mtu.pdb"
+  "CMakeFiles/fig7_mtu.dir/fig7_mtu.cpp.o"
+  "CMakeFiles/fig7_mtu.dir/fig7_mtu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_datatypes"
+  "../bench/fig8_datatypes.pdb"
+  "CMakeFiles/fig8_datatypes.dir/fig8_datatypes.cpp.o"
+  "CMakeFiles/fig8_datatypes.dir/fig8_datatypes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

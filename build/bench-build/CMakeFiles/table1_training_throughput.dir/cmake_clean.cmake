@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_training_throughput"
+  "../bench/table1_training_throughput.pdb"
+  "CMakeFiles/table1_training_throughput.dir/table1_training_throughput.cpp.o"
+  "CMakeFiles/table1_training_throughput.dir/table1_training_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_training_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

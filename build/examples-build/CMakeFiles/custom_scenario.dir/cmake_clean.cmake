@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/custom_scenario"
+  "../examples/custom_scenario.pdb"
+  "CMakeFiles/custom_scenario.dir/custom_scenario.cpp.o"
+  "CMakeFiles/custom_scenario.dir/custom_scenario.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

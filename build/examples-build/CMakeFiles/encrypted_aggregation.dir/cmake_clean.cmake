@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/encrypted_aggregation"
+  "../examples/encrypted_aggregation.pdb"
+  "CMakeFiles/encrypted_aggregation.dir/encrypted_aggregation.cpp.o"
+  "CMakeFiles/encrypted_aggregation.dir/encrypted_aggregation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

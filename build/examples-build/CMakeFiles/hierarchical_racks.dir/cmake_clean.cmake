@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hierarchical_racks"
+  "../examples/hierarchical_racks.pdb"
+  "CMakeFiles/hierarchical_racks.dir/hierarchical_racks.cpp.o"
+  "CMakeFiles/hierarchical_racks.dir/hierarchical_racks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_racks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/loss_recovery_demo"
+  "../examples/loss_recovery_demo.pdb"
+  "CMakeFiles/loss_recovery_demo.dir/loss_recovery_demo.cpp.o"
+  "CMakeFiles/loss_recovery_demo.dir/loss_recovery_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("dataplane")
+subdirs("quant")
+subdirs("crypto")
+subdirs("switchml_switch")
+subdirs("worker")
+subdirs("collectives")
+subdirs("core")
+subdirs("ml")
+subdirs("perfmodel")
+subdirs("framework")

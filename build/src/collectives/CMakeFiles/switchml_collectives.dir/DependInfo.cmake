@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/baseline_cluster.cpp" "src/collectives/CMakeFiles/switchml_collectives.dir/baseline_cluster.cpp.o" "gcc" "src/collectives/CMakeFiles/switchml_collectives.dir/baseline_cluster.cpp.o.d"
+  "/root/repo/src/collectives/halving_doubling.cpp" "src/collectives/CMakeFiles/switchml_collectives.dir/halving_doubling.cpp.o" "gcc" "src/collectives/CMakeFiles/switchml_collectives.dir/halving_doubling.cpp.o.d"
+  "/root/repo/src/collectives/ps.cpp" "src/collectives/CMakeFiles/switchml_collectives.dir/ps.cpp.o" "gcc" "src/collectives/CMakeFiles/switchml_collectives.dir/ps.cpp.o.d"
+  "/root/repo/src/collectives/ring.cpp" "src/collectives/CMakeFiles/switchml_collectives.dir/ring.cpp.o" "gcc" "src/collectives/CMakeFiles/switchml_collectives.dir/ring.cpp.o.d"
+  "/root/repo/src/collectives/streaming_ps.cpp" "src/collectives/CMakeFiles/switchml_collectives.dir/streaming_ps.cpp.o" "gcc" "src/collectives/CMakeFiles/switchml_collectives.dir/streaming_ps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/switchml_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/worker/CMakeFiles/switchml_worker.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/switchml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/switchml_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/switchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

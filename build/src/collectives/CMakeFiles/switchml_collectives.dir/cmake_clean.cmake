@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_collectives.dir/baseline_cluster.cpp.o"
+  "CMakeFiles/switchml_collectives.dir/baseline_cluster.cpp.o.d"
+  "CMakeFiles/switchml_collectives.dir/halving_doubling.cpp.o"
+  "CMakeFiles/switchml_collectives.dir/halving_doubling.cpp.o.d"
+  "CMakeFiles/switchml_collectives.dir/ps.cpp.o"
+  "CMakeFiles/switchml_collectives.dir/ps.cpp.o.d"
+  "CMakeFiles/switchml_collectives.dir/ring.cpp.o"
+  "CMakeFiles/switchml_collectives.dir/ring.cpp.o.d"
+  "CMakeFiles/switchml_collectives.dir/streaming_ps.cpp.o"
+  "CMakeFiles/switchml_collectives.dir/streaming_ps.cpp.o.d"
+  "libswitchml_collectives.a"
+  "libswitchml_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

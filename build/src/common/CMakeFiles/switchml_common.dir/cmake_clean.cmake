@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_common.dir/log.cpp.o"
+  "CMakeFiles/switchml_common.dir/log.cpp.o.d"
+  "CMakeFiles/switchml_common.dir/stats.cpp.o"
+  "CMakeFiles/switchml_common.dir/stats.cpp.o.d"
+  "CMakeFiles/switchml_common.dir/table.cpp.o"
+  "CMakeFiles/switchml_common.dir/table.cpp.o.d"
+  "libswitchml_common.a"
+  "libswitchml_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

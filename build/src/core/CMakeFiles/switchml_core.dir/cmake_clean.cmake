@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_core.dir/allreduce.cpp.o"
+  "CMakeFiles/switchml_core.dir/allreduce.cpp.o.d"
+  "CMakeFiles/switchml_core.dir/cluster.cpp.o"
+  "CMakeFiles/switchml_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/switchml_core.dir/stream_manager.cpp.o"
+  "CMakeFiles/switchml_core.dir/stream_manager.cpp.o.d"
+  "CMakeFiles/switchml_core.dir/timing_stream.cpp.o"
+  "CMakeFiles/switchml_core.dir/timing_stream.cpp.o.d"
+  "libswitchml_core.a"
+  "libswitchml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

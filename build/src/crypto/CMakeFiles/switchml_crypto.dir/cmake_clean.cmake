@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/switchml_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/switchml_crypto.dir/paillier.cpp.o"
+  "CMakeFiles/switchml_crypto.dir/paillier.cpp.o.d"
+  "libswitchml_crypto.a"
+  "libswitchml_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

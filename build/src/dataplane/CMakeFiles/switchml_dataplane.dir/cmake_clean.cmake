@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_dataplane.dir/pipeline.cpp.o"
+  "CMakeFiles/switchml_dataplane.dir/pipeline.cpp.o.d"
+  "libswitchml_dataplane.a"
+  "libswitchml_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_framework.dir/layer_model.cpp.o"
+  "CMakeFiles/switchml_framework.dir/layer_model.cpp.o.d"
+  "CMakeFiles/switchml_framework.dir/training_sim.cpp.o"
+  "CMakeFiles/switchml_framework.dir/training_sim.cpp.o.d"
+  "libswitchml_framework.a"
+  "libswitchml_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_ml.dir/dataset.cpp.o"
+  "CMakeFiles/switchml_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/switchml_ml.dir/mlp.cpp.o"
+  "CMakeFiles/switchml_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/switchml_ml.dir/trainer.cpp.o"
+  "CMakeFiles/switchml_ml.dir/trainer.cpp.o.d"
+  "libswitchml_ml.a"
+  "libswitchml_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/l2switch.cpp" "src/net/CMakeFiles/switchml_net.dir/l2switch.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/l2switch.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/switchml_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/switchml_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/switchml_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/net/CMakeFiles/switchml_net.dir/reliable.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/reliable.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/switchml_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/switchml_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/switchml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/switchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

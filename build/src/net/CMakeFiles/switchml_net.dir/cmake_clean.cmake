@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_net.dir/l2switch.cpp.o"
+  "CMakeFiles/switchml_net.dir/l2switch.cpp.o.d"
+  "CMakeFiles/switchml_net.dir/link.cpp.o"
+  "CMakeFiles/switchml_net.dir/link.cpp.o.d"
+  "CMakeFiles/switchml_net.dir/nic.cpp.o"
+  "CMakeFiles/switchml_net.dir/nic.cpp.o.d"
+  "CMakeFiles/switchml_net.dir/packet.cpp.o"
+  "CMakeFiles/switchml_net.dir/packet.cpp.o.d"
+  "CMakeFiles/switchml_net.dir/reliable.cpp.o"
+  "CMakeFiles/switchml_net.dir/reliable.cpp.o.d"
+  "CMakeFiles/switchml_net.dir/trace.cpp.o"
+  "CMakeFiles/switchml_net.dir/trace.cpp.o.d"
+  "libswitchml_net.a"
+  "libswitchml_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_perfmodel.dir/model_zoo.cpp.o"
+  "CMakeFiles/switchml_perfmodel.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/switchml_perfmodel.dir/training_model.cpp.o"
+  "CMakeFiles/switchml_perfmodel.dir/training_model.cpp.o.d"
+  "libswitchml_perfmodel.a"
+  "libswitchml_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_quant.dir/fixed_point.cpp.o"
+  "CMakeFiles/switchml_quant.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/switchml_quant.dir/float16.cpp.o"
+  "CMakeFiles/switchml_quant.dir/float16.cpp.o.d"
+  "libswitchml_quant.a"
+  "libswitchml_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libswitchml_quant.a"
+)

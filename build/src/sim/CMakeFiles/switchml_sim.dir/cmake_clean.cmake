@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_sim.dir/simulation.cpp.o"
+  "CMakeFiles/switchml_sim.dir/simulation.cpp.o.d"
+  "libswitchml_sim.a"
+  "libswitchml_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

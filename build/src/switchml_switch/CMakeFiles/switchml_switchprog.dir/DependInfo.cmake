@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchml_switch/aggregation_switch.cpp" "src/switchml_switch/CMakeFiles/switchml_switchprog.dir/aggregation_switch.cpp.o" "gcc" "src/switchml_switch/CMakeFiles/switchml_switchprog.dir/aggregation_switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/switchml_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataplane/CMakeFiles/switchml_dataplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/switchml_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/switchml_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/switchml_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

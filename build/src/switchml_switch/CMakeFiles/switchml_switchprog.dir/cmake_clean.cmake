@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_switchprog.dir/aggregation_switch.cpp.o"
+  "CMakeFiles/switchml_switchprog.dir/aggregation_switch.cpp.o.d"
+  "libswitchml_switchprog.a"
+  "libswitchml_switchprog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_switchprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switchml_worker.dir/worker.cpp.o"
+  "CMakeFiles/switchml_worker.dir/worker.cpp.o.d"
+  "libswitchml_worker.a"
+  "libswitchml_worker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switchml_worker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_a_trace_test.dir/appendix_a_trace_test.cpp.o"
+  "CMakeFiles/appendix_a_trace_test.dir/appendix_a_trace_test.cpp.o.d"
+  "appendix_a_trace_test"
+  "appendix_a_trace_test.pdb"
+  "appendix_a_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_a_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

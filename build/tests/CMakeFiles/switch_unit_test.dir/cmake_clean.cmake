@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_unit_test.dir/switch_unit_test.cpp.o"
+  "CMakeFiles/switch_unit_test.dir/switch_unit_test.cpp.o.d"
+  "switch_unit_test"
+  "switch_unit_test.pdb"
+  "switch_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenancy_test.dir/tenancy_test.cpp.o"
+  "CMakeFiles/tenancy_test.dir/tenancy_test.cpp.o.d"
+  "tenancy_test"
+  "tenancy_test.pdb"
+  "tenancy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenancy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/quant_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/appendix_a_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/worker_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/perfmodel_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/tenancy_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/framework_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/lossless_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_test[1]_include.cmake")
