@@ -5,7 +5,9 @@
 
 #include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collectives/baseline_cluster.hpp"
@@ -27,6 +29,35 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
 }
+
+// Collects one labeled MetricsRegistry snapshot per measured configuration
+// and writes them as a JSON telemetry sidecar next to the bench's stdout
+// table: {"<label>": <MetricsRegistry::Snapshot::json()>, ...}. Pass a
+// pointer into the measure_* helpers to capture each run's counters.
+class MetricsSidecar {
+public:
+  explicit MetricsSidecar(std::string path) : path_(std::move(path)) {}
+
+  void record(const std::string& label, MetricsRegistry& registry) {
+    runs_.emplace_back(label, registry.snapshot().json());
+  }
+
+  // Returns the path written, empty on I/O failure.
+  std::string write() const {
+    std::ofstream out(path_);
+    if (!out) return {};
+    out << "{";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "  \"" << runs_[i].first << "\": " << runs_[i].second;
+    }
+    out << "\n}\n";
+    return out ? path_ : std::string{};
+  }
+
+private:
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> runs_;
+};
 
 // Tensor sizes are scaled down from the paper's 100 MB default: ATE/s is
 // size-independent (§5.3, verified by tests), and smaller tensors keep the
@@ -52,7 +83,9 @@ struct RateResult {
 inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchScale& scale,
                                    std::uint32_t pool_size = 0, bool mtu = false,
                                    double loss = 0.0, std::uint8_t wire_elem_bytes = 4,
-                                   double extra_per_byte_ns = 0.0, bool adaptive_rto = false) {
+                                   double extra_per_byte_ns = 0.0, bool adaptive_rto = false,
+                                   MetricsSidecar* sidecar = nullptr,
+                                   const std::string& label = {}) {
   core::ClusterConfig cfg = core::ClusterConfig::for_rate(rate, workers);
   cfg.timing_only = true;
   if (pool_size != 0) cfg.pool_size = pool_size;
@@ -79,6 +112,7 @@ inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchS
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
   const auto& rtt = cluster.worker(0).rtt();
   if (!rtt.empty()) out.rtt_us = rtt.median();
+  if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
 }
 
@@ -104,7 +138,9 @@ inline const char* baseline_name(BaselineKind k) {
 // host software, SwitchML packet format), so they use the SwitchML worker
 // protocol, not the bulk reliable transport.
 inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, int workers,
-                                       const BenchScale& scale, double loss = 0.0) {
+                                       const BenchScale& scale, double loss = 0.0,
+                                       MetricsSidecar* sidecar = nullptr,
+                                       const std::string& label = {}) {
   collectives::StreamingPsConfig cfg;
   cfg.n_workers = workers;
   cfg.placement = kind == BaselineKind::ColocatedPs
@@ -126,14 +162,17 @@ inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, in
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
 }
 
 inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int workers,
-                                   const BenchScale& scale, double loss = 0.0) {
+                                   const BenchScale& scale, double loss = 0.0,
+                                   MetricsSidecar* sidecar = nullptr,
+                                   const std::string& label = {}) {
   if (kind == BaselineKind::DedicatedPs || kind == BaselineKind::ColocatedPs ||
       kind == BaselineKind::DedicatedPsMtu)
-    return measure_streaming_ps(kind, rate, workers, scale, loss);
+    return measure_streaming_ps(kind, rate, workers, scale, loss, sidecar, label);
 
   collectives::BaselineClusterConfig cfg;
   cfg.link_rate = rate;
@@ -215,6 +254,7 @@ inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int wo
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
 }
 

@@ -1,0 +1,80 @@
+// Microbenchmark (google-benchmark): cost of sim::Simulation timer
+// scheduling. Every in-flight SwitchML packet arms a retransmission timer
+// and cancels it on the ACK path, so schedule_timer/cancel sit on the
+// simulator's hottest loop. The slot-pool TimerHandle (a (slot, generation)
+// index into the Simulation) replaced a per-timer shared_ptr<bool> control
+// block, removing one heap allocation + atomic refcount per scheduled timer.
+//
+// The representative pattern is BM_ScheduleCancelFire: arm, cancel (the ACK
+// arrived), then drain the queue — the common case where the timer never
+// actually runs its callback.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace switchml;
+
+// Arm a batch of timers, then drain the queue letting all of them fire.
+void BM_ScheduleFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_timer(static_cast<Time>(i + 1), [&fired] { ++fired; });
+    }
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleFire)->Arg(1 << 10)->Arg(1 << 16);
+
+// Arm, cancel, drain: the retransmission-timer fast path (the ACK wins the
+// race, so the queued event pops as a no-op and the slot recycles).
+void BM_ScheduleCancelFire(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::TimerHandle> handles(n);
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::Simulation s;
+    for (std::size_t i = 0; i < n; ++i) {
+      handles[i] = s.schedule_timer(static_cast<Time>(i + 1), [&fired] { ++fired; });
+    }
+    for (auto& h : handles) h.cancel();
+    s.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ScheduleCancelFire)->Arg(1 << 10)->Arg(1 << 16);
+
+// Steady-state churn: one live timer re-armed from its own callback, so the
+// slot pool stays at size 1 and every iteration recycles the same slot.
+void BM_TimerChurn(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation s;
+    std::uint64_t remaining = n;
+    std::function<void()> rearm = [&] {
+      if (--remaining > 0) s.schedule_timer(1, rearm);
+    };
+    s.schedule_timer(1, rearm);
+    s.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TimerChurn)->Arg(1 << 16);
+
+} // namespace
+
+BENCHMARK_MAIN();

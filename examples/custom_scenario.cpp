@@ -102,10 +102,11 @@ int main(int argc, char** argv) try {
                 100.0 * static_cast<double>(cluster.agg_switch().register_bytes()) /
                     static_cast<double>(4 * kMiB));
   } else if (args.strategy == "hierarchical") {
+    if (args.racks < 1) throw std::invalid_argument("--racks must be >= 1");
     core::HierarchyConfig cfg;
     cfg.racks = args.racks;
     cfg.workers_per_rack = args.workers / args.racks;
-    cfg.worker_link_rate = rate;
+    cfg.link_rate = rate;
     cfg.uplink_rate = rate;
     cfg.loss_prob = args.loss;
     cfg.timing_only = true;

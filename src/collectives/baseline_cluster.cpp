@@ -6,6 +6,9 @@ namespace switchml::collectives {
 
 BaselineCluster::BaselineCluster(const BaselineClusterConfig& config) : config_(config) {
   if (config.n_hosts < 2) throw std::invalid_argument("BaselineCluster: need >= 2 hosts");
+  // Hosts and links register their counters into this cluster's registry,
+  // same as the SwitchML fabric does.
+  MetricsRegistry::Scope scope(&metrics_);
   switch_ = std::make_unique<net::L2Switch>(sim_, 10'000, "fabric", config.switch_latency);
 
   net::LinkConfig lc;

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "net/l2switch.hpp"
 #include "net/reliable.hpp"
 
@@ -33,10 +34,12 @@ public:
   [[nodiscard]] int n_hosts() const { return static_cast<int>(hosts_.size()); }
   [[nodiscard]] net::TransportHost& host(int i) { return *hosts_.at(static_cast<std::size_t>(i)); }
   [[nodiscard]] net::L2Switch& fabric() { return *switch_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   void set_loss_prob(double p);
 
 private:
   BaselineClusterConfig config_;
+  MetricsRegistry metrics_;
   sim::Simulation sim_;
   std::unique_ptr<net::L2Switch> switch_;
   std::vector<std::unique_ptr<net::TransportHost>> hosts_;

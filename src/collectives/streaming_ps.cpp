@@ -89,7 +89,14 @@ PsShardNode::PsShardNode(sim::Simulation& simulation, net::NodeId id, std::strin
       nic_(simulation, nic),
       n_shards_(n_shards),
       aggregator_(n_workers, pool_size, timing_only),
-      worker_ids_(std::move(worker_ids)) {}
+      worker_ids_(std::move(worker_ids)) {
+  if (auto* reg = MetricsRegistry::current()) {
+    const std::string p = this->name() + ".";
+    reg->add_counter(p + "updates", [this] { return aggregator_.counters().updates; });
+    reg->add_counter(p + "duplicates", [this] { return aggregator_.counters().duplicates; });
+    reg->add_counter(p + "completions", [this] { return aggregator_.counters().completions; });
+  }
+}
 
 void PsShardNode::receive(net::Packet&& p, int /*port*/) {
   const int core = core_of(p.idx);
@@ -124,7 +131,14 @@ PsColocatedHost::PsColocatedHost(sim::Simulation& simulation, net::NodeId id, st
     : Worker(simulation, id, std::move(name), wc),
       n_shards_(n_shards),
       aggregator_(wc.n_workers, pool_size, wc.timing_only),
-      worker_ids_(std::move(worker_ids)) {}
+      worker_ids_(std::move(worker_ids)) {
+  if (auto* reg = MetricsRegistry::current()) {
+    const std::string p = this->name() + ".shard.";
+    reg->add_counter(p + "updates", [this] { return aggregator_.counters().updates; });
+    reg->add_counter(p + "duplicates", [this] { return aggregator_.counters().duplicates; });
+    reg->add_counter(p + "completions", [this] { return aggregator_.counters().completions; });
+  }
+}
 
 void PsColocatedHost::receive(net::Packet&& p, int port) {
   if (p.kind == net::PacketKind::SmlUpdate) {
@@ -172,6 +186,9 @@ void PsColocatedHost::handle_shard(net::Packet&& p) {
 StreamingPsCluster::StreamingPsCluster(const StreamingPsConfig& config) : config_(config) {
   const int n = config.n_workers;
   if (n < 1) throw std::invalid_argument("StreamingPsCluster: need workers");
+  // Workers, PS shards and links register their counters into this cluster's
+  // registry, same as the SwitchML fabric does.
+  MetricsRegistry::Scope scope(&metrics_);
   const bool dedicated = config.placement == StreamingPsPlacement::Dedicated;
 
   fabric_ = std::make_unique<net::L2Switch>(sim_, 10'000, "fabric", config.switch_latency);

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "net/l2switch.hpp"
 #include "worker/worker.hpp"
 
@@ -140,6 +141,7 @@ public:
 
   [[nodiscard]] sim::Simulation& simulation() { return sim_; }
   [[nodiscard]] worker::Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
   void set_loss_prob(double p);
 
   std::vector<Time> reduce_timing(std::uint64_t total_elems);
@@ -151,6 +153,7 @@ public:
 
 private:
   StreamingPsConfig config_;
+  MetricsRegistry metrics_;
   sim::Simulation sim_;
   std::unique_ptr<net::L2Switch> fabric_;
   std::vector<std::unique_ptr<worker::Worker>> workers_; // includes colocated hosts

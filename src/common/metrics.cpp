@@ -1,0 +1,137 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace switchml {
+
+namespace {
+
+MetricsRegistry*& ambient_registry() {
+  thread_local MetricsRegistry* current = nullptr;
+  return current;
+}
+
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Minimal JSON string escaping; metric names are ASCII identifiers plus
+// separators, but link names can embed arbitrary node names.
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+} // namespace
+
+void MetricsRegistry::add_counter(std::string name, Sampler sample) {
+  counters_.emplace_back(std::move(name), std::move(sample));
+}
+
+void MetricsRegistry::add_summary(std::string name, const Summary* summary) {
+  summaries_.emplace_back(std::move(name), summary);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, sample] : counters_) snap.counters.emplace_back(name, sample());
+  snap.summaries.reserve(summaries_.size());
+  for (const auto& [name, summary] : summaries_) {
+    SummaryStats stats;
+    stats.count = summary->count();
+    if (!summary->empty()) {
+      stats.min = summary->min();
+      stats.median = summary->median();
+      stats.max = summary->max();
+      stats.mean = summary->mean();
+    }
+    snap.summaries.emplace_back(name, stats);
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.summaries.begin(), snap.summaries.end(), by_name);
+  return snap;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  throw std::out_of_range("MetricsRegistry: no counter named '" + std::string(name) + "'");
+}
+
+bool MetricsRegistry::Snapshot::has_counter(std::string_view name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return true;
+  return false;
+}
+
+std::uint64_t MetricsRegistry::Snapshot::sum(std::string_view suffix) const {
+  std::uint64_t total = 0;
+  for (const auto& [n, v] : counters)
+    if (ends_with(n, suffix)) total += v;
+  return total;
+}
+
+std::string MetricsRegistry::Snapshot::json() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << value;
+  }
+  out << "},\"summaries\":{";
+  first = true;
+  out << std::setprecision(10);
+  for (const auto& [name, stats] : summaries) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ":{\"count\":" << stats.count << ",\"min\":" << stats.min
+        << ",\"median\":" << stats.median << ",\"max\":" << stats.max
+        << ",\"mean\":" << stats.mean << '}';
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsRegistry::Snapshot::table() const {
+  std::size_t width = 0;
+  for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, stats] : summaries) width = std::max(width, name.size());
+  std::ostringstream out;
+  for (const auto& [name, value] : counters)
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name << value << '\n';
+  for (const auto& [name, stats] : summaries) {
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name << std::setprecision(4)
+        << stats.median << " [" << stats.min << ", " << stats.max << "] (n=" << stats.count
+        << ")\n";
+  }
+  return out.str();
+}
+
+MetricsRegistry* MetricsRegistry::current() { return ambient_registry(); }
+
+MetricsRegistry::Scope::Scope(MetricsRegistry* registry) : prev_(ambient_registry()) {
+  ambient_registry() = registry;
+}
+
+MetricsRegistry::Scope::~Scope() { ambient_registry() = prev_; }
+
+} // namespace switchml

@@ -1,36 +1,6 @@
 #include "core/cluster.hpp"
 
-#include <stdexcept>
-
 namespace switchml::core {
-
-namespace {
-constexpr net::NodeId kSwitchId = 10'000;
-constexpr net::NodeId kRootId = 20'000;
-constexpr std::uint32_t kWorkerMulticastGroup = 1;
-
-worker::WorkerConfig make_worker_config(int i, int n, std::uint32_t pool_size,
-                                        std::uint32_t k, std::uint8_t wire_elem_bytes,
-                                        Time rto, const net::NicConfig& nic,
-                                        net::NodeId switch_id, bool timing_only) {
-  worker::WorkerConfig wc;
-  wc.wid = static_cast<std::uint16_t>(i);
-  wc.n_workers = n;
-  wc.pool_size = pool_size;
-  wc.elems_per_packet = k;
-  wc.wire_elem_bytes = wire_elem_bytes;
-  wc.retransmit_timeout = rto;
-  wc.nic = nic;
-  wc.switch_id = switch_id;
-  wc.timing_only = timing_only;
-  return wc;
-}
-
-worker::WorkerConfig with_adaptive_rto(worker::WorkerConfig wc, bool adaptive) {
-  wc.adaptive_rto = adaptive;
-  return wc;
-}
-} // namespace
 
 ClusterConfig ClusterConfig::for_rate(BitsPerSecond rate, int n_workers) {
   ClusterConfig c;
@@ -39,447 +9,6 @@ ClusterConfig ClusterConfig::for_rate(BitsPerSecond rate, int n_workers) {
   c.nic = switchml_worker_nic(rate);
   c.pool_size = rate >= gbps(100) ? 512 : 128; // §3.6 measured values
   return c;
-}
-
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
-  if (config.n_workers < 1) throw std::invalid_argument("Cluster: need at least one worker");
-  if (config.lossless && config.loss_prob > 0)
-    throw std::invalid_argument("Cluster: lossless mode requires loss_prob == 0");
-
-  swprog::AggregationConfig sc;
-  sc.n_workers = config.n_workers;
-  sc.pool_size = config.pool_size;
-  sc.elems_per_packet = config.elems_per_packet;
-  sc.timing_only = config.timing_only;
-  sc.mtu_emulation = config.mtu_emulation;
-  sc.multicast_group = kWorkerMulticastGroup;
-  sc.ablate_shadow_copy = config.ablate_shadow_copy;
-  sc.ablate_seen_bitmap = config.ablate_seen_bitmap;
-  sc.fp16_frac_bits = config.fp16_frac_bits;
-  sc.lossless = config.lossless;
-  switch_ = std::make_unique<swprog::AggregationSwitch>(
-      sim_, kSwitchId, "switch", sc, swprog::SwitchRole::Standalone, config.switch_latency);
-
-  net::LinkConfig lc;
-  lc.rate = config.link_rate;
-  lc.propagation = config.propagation;
-  lc.queue_limit_bytes = config.queue_limit_bytes;
-  lc.loss_prob = config.loss_prob;
-
-  std::vector<int> all_ports;
-  for (int i = 0; i < config.n_workers; ++i) {
-    worker::WorkerConfig wc = with_adaptive_rto(
-        make_worker_config(i, config.n_workers, config.pool_size, config.elems_per_packet,
-                           config.wire_elem_bytes, config.retransmit_timeout, config.nic,
-                           kSwitchId, config.timing_only),
-        config.adaptive_rto);
-    wc.lossless = config.lossless;
-    auto w = std::make_unique<worker::Worker>(sim_, static_cast<net::NodeId>(i),
-                                              "worker-" + std::to_string(i), wc);
-    auto link = std::make_unique<net::Link>(sim_, lc, *w, /*port_a=*/0, *switch_,
-                                            /*port_b=*/i, config.seed + static_cast<std::uint64_t>(i));
-    w->set_uplink(*link);
-    switch_->attach(i, *link);
-    all_ports.push_back(i);
-    workers_.push_back(std::move(w));
-    links_.push_back(std::move(link));
-  }
-  switch_->add_multicast_group(kWorkerMulticastGroup, all_ports);
-}
-
-void Cluster::set_loss_prob(double p) {
-  for (auto& l : links_) l->set_loss_prob(p);
-}
-
-net::Tracer& Cluster::enable_tracing() {
-  if (!tracer_) {
-    tracer_ = std::make_unique<net::Tracer>();
-    tracer_->set_capacity(1 << 20);
-    for (auto& l : links_) l->set_tracer(tracer_.get());
-  }
-  return *tracer_;
-}
-
-std::vector<Time> Cluster::reduce_timing(std::uint64_t total_elems) {
-  if (!config_.timing_only)
-    throw std::logic_error("Cluster::reduce_timing requires timing_only config");
-  std::vector<Time> start(workers_.size()), tat(workers_.size(), -1);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(total_elems, [this, &start, &tat, i] {
-      tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : tat)
-    if (t < 0) throw std::runtime_error("Cluster::reduce_timing: reduction did not complete");
-  return tat;
-}
-
-Cluster::DataReduceResult Cluster::reduce_i32(
-    const std::vector<std::vector<std::int32_t>>& updates) {
-  if (config_.timing_only)
-    throw std::logic_error("Cluster::reduce_i32 requires a data-mode cluster");
-  if (static_cast<int>(updates.size()) != n_workers())
-    throw std::invalid_argument("Cluster::reduce_i32: one update per worker required");
-
-  DataReduceResult r;
-  r.outputs.resize(updates.size());
-  r.tat.assign(updates.size(), -1);
-  std::vector<Time> start(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    r.outputs[i].assign(updates[i].size(), 0);
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(updates[i], r.outputs[i], [this, &start, &r, i] {
-      r.tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : r.tat)
-    if (t < 0) throw std::runtime_error("Cluster::reduce_i32: reduction did not complete");
-  return r;
-}
-
-// ------------------------------------------------------------------ multi-job
-
-MultiJobCluster::MultiJobCluster(const MultiJobConfig& config) : config_(config) {
-  if (config.n_jobs < 1 || config.workers_per_job < 1)
-    throw std::invalid_argument("MultiJobCluster: invalid shape");
-
-  // Job 0 is admitted by the switch constructor; further jobs go through the
-  // §6 admission control below.
-  swprog::AggregationConfig sc;
-  sc.n_workers = config.workers_per_job;
-  sc.pool_size = config.pool_size;
-  sc.elems_per_packet = config.elems_per_packet;
-  sc.wid_base = 0;
-  sc.timing_only = config.timing_only;
-  sc.multicast_group = 100;
-  sc.sram_budget_bytes = config.sram_budget_bytes;
-  switch_ = std::make_unique<swprog::AggregationSwitch>(
-      sim_, 10'000, "switch", sc, swprog::SwitchRole::Standalone, config.switch_latency);
-
-  for (int j = 1; j < config.n_jobs; ++j) {
-    swprog::JobParams params;
-    params.n_workers = config.workers_per_job;
-    params.pool_size = config.pool_size;
-    params.wid_base = static_cast<std::uint16_t>(j * config.workers_per_job);
-    params.multicast_group = 100 + static_cast<std::uint32_t>(j);
-    if (!switch_->admit_job(static_cast<std::uint8_t>(j), params))
-      throw std::runtime_error("MultiJobCluster: job " + std::to_string(j) +
-                               " rejected by admission control (SRAM budget)");
-  }
-
-  net::LinkConfig lc;
-  lc.rate = config.link_rate;
-  lc.propagation = config.propagation;
-  lc.queue_limit_bytes = config.queue_limit_bytes;
-  lc.loss_prob = config.loss_prob;
-
-  for (int j = 0; j < config.n_jobs; ++j) {
-    std::vector<int> ports;
-    for (int i = 0; i < config.workers_per_job; ++i) {
-      const int g = j * config.workers_per_job + i; // global worker index == port
-      worker::WorkerConfig wc = make_worker_config(
-          g, config.workers_per_job, config.pool_size, config.elems_per_packet, 4,
-          config.retransmit_timeout, config.nic, switch_->id(), config.timing_only);
-      wc.job = static_cast<std::uint8_t>(j);
-      auto w = std::make_unique<worker::Worker>(sim_, static_cast<net::NodeId>(g),
-                                                "j" + std::to_string(j) + "-worker-" +
-                                                    std::to_string(i),
-                                                wc);
-      auto link = std::make_unique<net::Link>(sim_, lc, *w, 0, *switch_, g,
-                                              config.seed + static_cast<std::uint64_t>(g));
-      w->set_uplink(*link);
-      switch_->attach(g, *link);
-      ports.push_back(g);
-      workers_.push_back(std::move(w));
-      links_.push_back(std::move(link));
-    }
-    switch_->add_multicast_group(100 + static_cast<std::uint32_t>(j), ports);
-  }
-}
-
-std::vector<std::vector<Time>> MultiJobCluster::reduce_timing_all(std::uint64_t total_elems) {
-  if (!config_.timing_only)
-    throw std::logic_error("MultiJobCluster::reduce_timing_all requires timing_only");
-  const auto per_job = static_cast<std::size_t>(config_.workers_per_job);
-  std::vector<Time> start(workers_.size()), tat(workers_.size(), -1);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(total_elems, [this, &start, &tat, i] {
-      tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  std::vector<std::vector<Time>> out(static_cast<std::size_t>(config_.n_jobs));
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    if (tat[i] < 0) throw std::runtime_error("MultiJobCluster: reduction did not complete");
-    out[i / per_job].push_back(tat[i]);
-  }
-  return out;
-}
-
-Cluster::DataReduceResult MultiJobCluster::reduce_i32(
-    int job, const std::vector<std::vector<std::int32_t>>& updates) {
-  if (config_.timing_only) throw std::logic_error("MultiJobCluster::reduce_i32: data mode only");
-  if (static_cast<int>(updates.size()) != config_.workers_per_job)
-    throw std::invalid_argument("MultiJobCluster::reduce_i32: one update per worker");
-  Cluster::DataReduceResult r;
-  r.outputs.resize(updates.size());
-  r.tat.assign(updates.size(), -1);
-  std::vector<Time> start(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    r.outputs[i].assign(updates[i].size(), 0);
-    start[i] = sim_.now();
-    worker(job, static_cast<int>(i))
-        .start_reduction(updates[i], r.outputs[i], [this, &start, &r, i] {
-          r.tat[i] = sim_.now() - start[i];
-        });
-  }
-  sim_.run();
-  for (Time t : r.tat)
-    if (t < 0) throw std::runtime_error("MultiJobCluster: reduction did not complete");
-  return r;
-}
-
-// ----------------------------------------------------------------------- tree
-
-TreeCluster::TreeCluster(const TreeConfig& config) : config_(config) {
-  if (config.levels < 2) throw std::invalid_argument("TreeCluster: need at least 2 levels");
-  if (config.branching < 1 || config.workers_per_rack < 1)
-    throw std::invalid_argument("TreeCluster: invalid shape");
-  int next_worker = 0;
-  build_switch(0, nullptr, 0, next_worker);
-}
-
-swprog::AggregationSwitch* TreeCluster::build_switch(int level,
-                                                     swprog::AggregationSwitch* parent,
-                                                     int index_at_parent, int& next_worker) {
-  const bool bottom = level == config_.levels - 1;
-  const int n_children = bottom ? config_.workers_per_rack : config_.branching;
-
-  swprog::AggregationConfig sc;
-  sc.n_workers = n_children;
-  sc.pool_size = config_.pool_size;
-  sc.elems_per_packet = config_.elems_per_packet;
-  sc.timing_only = config_.timing_only;
-  sc.multicast_group = 1;
-  // Bottom switches see global worker ids; internal switches see their
-  // children's leaf_wid (0..branching-1).
-  sc.wid_base = bottom ? static_cast<std::uint16_t>(next_worker) : 0;
-  const auto role = parent == nullptr ? swprog::SwitchRole::Root : swprog::SwitchRole::Leaf;
-  if (parent != nullptr) {
-    sc.parent_port = n_children; // one past the child ports
-    sc.leaf_wid = static_cast<std::uint16_t>(index_at_parent);
-  }
-  auto owned = std::make_unique<swprog::AggregationSwitch>(
-      sim_, next_switch_id_++,
-      "sw-l" + std::to_string(level) + "-" + std::to_string(index_at_parent), sc, role,
-      config_.switch_latency);
-  swprog::AggregationSwitch* sw = owned.get();
-  switches_.push_back(std::move(owned));
-
-  net::LinkConfig lc;
-  lc.rate = config_.link_rate;
-  lc.propagation = config_.propagation;
-  lc.queue_limit_bytes = config_.queue_limit_bytes;
-  lc.loss_prob = config_.loss_prob;
-
-  std::vector<int> child_ports;
-  for (int c = 0; c < n_children; ++c) {
-    if (bottom) {
-      const int g = next_worker++;
-      worker::WorkerConfig wc;
-      wc.wid = static_cast<std::uint16_t>(g);
-      wc.n_workers = n_children;
-      wc.pool_size = config_.pool_size;
-      wc.elems_per_packet = config_.elems_per_packet;
-      wc.retransmit_timeout = config_.retransmit_timeout;
-      wc.nic = config_.nic;
-      wc.switch_id = sw->id();
-      wc.timing_only = config_.timing_only;
-      auto w = std::make_unique<worker::Worker>(sim_, static_cast<net::NodeId>(g),
-                                                "worker-" + std::to_string(g), wc);
-      auto link = std::make_unique<net::Link>(sim_, lc, *w, 0, *sw, c,
-                                              config_.seed + static_cast<std::uint64_t>(g));
-      w->set_uplink(*link);
-      sw->attach(c, *link);
-      workers_.push_back(std::move(w));
-      links_.push_back(std::move(link));
-    } else {
-      swprog::AggregationSwitch* child = build_switch(level + 1, sw, c, next_worker);
-      const int child_parent_port =
-          level + 1 == config_.levels - 1 ? config_.workers_per_rack : config_.branching;
-      auto link = std::make_unique<net::Link>(
-          sim_, lc, *child, child_parent_port, *sw, c,
-          config_.seed + 7000 + static_cast<std::uint64_t>(child->id()));
-      child->attach(child_parent_port, *link);
-      sw->attach(c, *link);
-      links_.push_back(std::move(link));
-    }
-    child_ports.push_back(c);
-  }
-  sw->add_multicast_group(1, child_ports);
-  return sw;
-}
-
-void TreeCluster::set_loss_prob(double p) {
-  for (auto& l : links_) l->set_loss_prob(p);
-}
-
-std::vector<Time> TreeCluster::reduce_timing(std::uint64_t total_elems) {
-  if (!config_.timing_only)
-    throw std::logic_error("TreeCluster::reduce_timing requires timing_only");
-  std::vector<Time> start(workers_.size()), tat(workers_.size(), -1);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(total_elems, [this, &start, &tat, i] {
-      tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : tat)
-    if (t < 0) throw std::runtime_error("TreeCluster: reduction did not complete");
-  return tat;
-}
-
-Cluster::DataReduceResult TreeCluster::reduce_i32(
-    const std::vector<std::vector<std::int32_t>>& updates) {
-  if (config_.timing_only) throw std::logic_error("TreeCluster::reduce_i32: data mode only");
-  if (updates.size() != workers_.size())
-    throw std::invalid_argument("TreeCluster::reduce_i32: one update per worker");
-  Cluster::DataReduceResult r;
-  r.outputs.resize(updates.size());
-  r.tat.assign(updates.size(), -1);
-  std::vector<Time> start(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    r.outputs[i].assign(updates[i].size(), 0);
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(updates[i], r.outputs[i], [this, &start, &r, i] {
-      r.tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : r.tat)
-    if (t < 0) throw std::runtime_error("TreeCluster: reduction did not complete");
-  return r;
-}
-
-// --------------------------------------------------------------- hierarchical
-
-HierarchicalCluster::HierarchicalCluster(const HierarchyConfig& config) : config_(config) {
-  if (config.racks < 1 || config.workers_per_rack < 1)
-    throw std::invalid_argument("HierarchicalCluster: invalid shape");
-
-  // Root aggregates one contribution per rack.
-  swprog::AggregationConfig rc;
-  rc.n_workers = config.racks;
-  rc.pool_size = config.pool_size;
-  rc.elems_per_packet = config.elems_per_packet;
-  rc.timing_only = config.timing_only;
-  rc.multicast_group = kWorkerMulticastGroup; // ports toward the leaves
-  root_ = std::make_unique<swprog::AggregationSwitch>(
-      sim_, kRootId, "root", rc, swprog::SwitchRole::Root, config.switch_latency);
-
-  net::LinkConfig worker_lc;
-  worker_lc.rate = config.worker_link_rate;
-  worker_lc.propagation = config.propagation;
-  worker_lc.queue_limit_bytes = config.queue_limit_bytes;
-  worker_lc.loss_prob = config.loss_prob;
-
-  net::LinkConfig up_lc = worker_lc;
-  up_lc.rate = config.uplink_rate;
-
-  const int total_workers = config.racks * config.workers_per_rack;
-  std::vector<int> root_ports;
-  for (int r = 0; r < config.racks; ++r) {
-    swprog::AggregationConfig sc;
-    sc.n_workers = config.workers_per_rack;
-    sc.pool_size = config.pool_size;
-    sc.elems_per_packet = config.elems_per_packet;
-    sc.wid_base = static_cast<std::uint16_t>(r * config.workers_per_rack);
-    sc.timing_only = config.timing_only;
-    sc.multicast_group = kWorkerMulticastGroup;
-    sc.parent_port = config.workers_per_rack; // one past the worker ports
-    sc.leaf_wid = static_cast<std::uint16_t>(r);
-    auto leaf = std::make_unique<swprog::AggregationSwitch>(
-        sim_, kSwitchId + static_cast<net::NodeId>(r), "leaf-" + std::to_string(r), sc,
-        swprog::SwitchRole::Leaf, config.switch_latency);
-
-    std::vector<int> leaf_ports;
-    for (int j = 0; j < config.workers_per_rack; ++j) {
-      const int gw = r * config.workers_per_rack + j; // global worker index
-      auto w = std::make_unique<worker::Worker>(
-          sim_, static_cast<net::NodeId>(gw), "worker-" + std::to_string(gw),
-          make_worker_config(gw, total_workers, config.pool_size, config.elems_per_packet, 4,
-                             config.retransmit_timeout, config.nic, leaf->id(),
-                             config.timing_only));
-      auto link = std::make_unique<net::Link>(sim_, worker_lc, *w, 0, *leaf, j,
-                                              config.seed + static_cast<std::uint64_t>(gw));
-      w->set_uplink(*link);
-      leaf->attach(j, *link);
-      leaf_ports.push_back(j);
-      workers_.push_back(std::move(w));
-      links_.push_back(std::move(link));
-    }
-    leaf->add_multicast_group(kWorkerMulticastGroup, leaf_ports);
-
-    auto uplink = std::make_unique<net::Link>(sim_, up_lc, *leaf, config.workers_per_rack,
-                                              *root_, r, config.seed + 1000 + static_cast<std::uint64_t>(r));
-    leaf->attach(config.workers_per_rack, *uplink);
-    root_->attach(r, *uplink);
-    root_ports.push_back(r);
-    links_.push_back(std::move(uplink));
-    leaves_.push_back(std::move(leaf));
-  }
-  root_->add_multicast_group(kWorkerMulticastGroup, root_ports);
-}
-
-void HierarchicalCluster::set_loss_prob(double p) {
-  for (auto& l : links_) l->set_loss_prob(p);
-}
-
-std::vector<Time> HierarchicalCluster::reduce_timing(std::uint64_t total_elems) {
-  if (!config_.timing_only)
-    throw std::logic_error("HierarchicalCluster::reduce_timing requires timing_only config");
-  std::vector<Time> start(workers_.size()), tat(workers_.size(), -1);
-  for (std::size_t i = 0; i < workers_.size(); ++i) {
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(total_elems, [this, &start, &tat, i] {
-      tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : tat)
-    if (t < 0)
-      throw std::runtime_error("HierarchicalCluster::reduce_timing: reduction did not complete");
-  return tat;
-}
-
-Cluster::DataReduceResult HierarchicalCluster::reduce_i32(
-    const std::vector<std::vector<std::int32_t>>& updates) {
-  if (config_.timing_only)
-    throw std::logic_error("HierarchicalCluster::reduce_i32 requires a data-mode cluster");
-  if (updates.size() != workers_.size())
-    throw std::invalid_argument("HierarchicalCluster::reduce_i32: one update per worker");
-
-  Cluster::DataReduceResult r;
-  r.outputs.resize(updates.size());
-  r.tat.assign(updates.size(), -1);
-  std::vector<Time> start(updates.size());
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    r.outputs[i].assign(updates[i].size(), 0);
-    start[i] = sim_.now();
-    workers_[i]->start_reduction(updates[i], r.outputs[i], [this, &start, &r, i] {
-      r.tat[i] = sim_.now() - start[i];
-    });
-  }
-  sim_.run();
-  for (Time t : r.tat)
-    if (t < 0)
-      throw std::runtime_error("HierarchicalCluster::reduce_i32: reduction did not complete");
-  return r;
 }
 
 } // namespace switchml::core

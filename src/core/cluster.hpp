@@ -1,90 +1,67 @@
-// Rack-scale SwitchML cluster builder: n workers attached to one
-// programmable aggregation switch, each over its own full-duplex link.
-// This is the deployment the paper's prototype targets (§1: up to 64 nodes
-// at 100 Gbps on one Tofino).
+// The four deployment shapes the paper evaluates, as thin facades over the
+// unified fabric layer (core/fabric.hpp). Each facade pairs a legacy config
+// struct — now just FabricParams plus the shape fields — with the accessors
+// its callers always had; all wiring lives in TopologyBuilder.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
-#include "common/stats.hpp"
-#include "core/profiles.hpp"
-#include "net/link.hpp"
-#include "switchml_switch/aggregation_switch.hpp"
-#include "worker/worker.hpp"
+#include "core/fabric.hpp"
 
 namespace switchml::core {
 
-struct ClusterConfig {
+// Rack-scale cluster (§1): n workers attached to one programmable
+// aggregation switch, each over its own full-duplex link.
+struct ClusterConfig : FabricParams {
   int n_workers = 8;
-  BitsPerSecond link_rate = gbps(10);
-  Time propagation = nsec(500);
-  std::int64_t queue_limit_bytes = 16 * kMiB;
-  double loss_prob = 0.0;
-
-  std::uint32_t pool_size = 128;                                // s (§3.6)
-  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket; // k
-  std::uint8_t wire_elem_bytes = 4;
-  Time retransmit_timeout = msec(1);
-  bool adaptive_rto = false; // §6: RTT-adaptive RTO (Jacobson/Karels)
-  net::NicConfig nic = switchml_worker_nic_10g();
-  bool timing_only = false;
-  bool mtu_emulation = false; // §5.5: switch forwards elements beyond 32 as-is
-  Time switch_latency = nsec(400);
-  std::uint64_t seed = 42;
-  bool ablate_shadow_copy = false; // see AggregationConfig
-  bool ablate_seen_bitmap = false;
-  int fp16_frac_bits = 12; // switch ingress/egress table position (§3.7)
-  // §3.2: run literal Algorithms 1/2 for lossless fabrics (Infiniband /
-  // lossless RoCE): no bitmaps, shadow copies or timers. Requires
-  // loss_prob == 0.
-  bool lossless = false;
 
   // Convenience: profile for `rate` with the matching NIC and pool size.
   static ClusterConfig for_rate(BitsPerSecond rate, int n_workers = 8);
+
+  [[nodiscard]] FabricConfig fabric() const {
+    return FabricConfig(*this, RackSpec{n_workers});
+  }
 };
 
 class Cluster {
 public:
-  explicit Cluster(const ClusterConfig& config);
+  explicit Cluster(const ClusterConfig& config) : config_(config), fabric_(config.fabric()) {}
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] int n_workers() const { return static_cast<int>(workers_.size()); }
-  [[nodiscard]] worker::Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
-  [[nodiscard]] swprog::AggregationSwitch& agg_switch() { return *switch_; }
-  [[nodiscard]] net::Link& link(int i) { return *links_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] sim::Simulation& simulation() { return fabric_.simulation(); }
+  [[nodiscard]] int n_workers() const { return fabric_.n_workers(); }
+  [[nodiscard]] worker::Worker& worker(int i) { return fabric_.worker(i); }
+  [[nodiscard]] swprog::AggregationSwitch& agg_switch() { return fabric_.root(); }
+  [[nodiscard]] net::Link& link(int i) { return fabric_.link(static_cast<std::size_t>(i)); }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return fabric_.metrics(); }
 
   // Sets the Bernoulli loss probability on every link, both directions
   // (the §5.5 loss experiments apply uniform loss "on every link").
-  void set_loss_prob(double p);
+  void set_loss_prob(double p) { fabric_.set_loss_prob(p); }
 
   // Attaches a packet tracer to every link and returns it.
-  net::Tracer& enable_tracing();
+  net::Tracer& enable_tracing() { return fabric_.enable_tracing(); }
 
   // Runs one timing-only aggregation of `total_elems` elements on all
   // workers and returns each worker's tensor aggregation time (TAT, §5.1).
-  std::vector<Time> reduce_timing(std::uint64_t total_elems);
+  std::vector<Time> reduce_timing(std::uint64_t total_elems) {
+    return fabric_.reduce_timing(total_elems);
+  }
 
   // Data-mode aggregation: updates[i] is worker i's quantized model update;
   // returns each worker's aggregated result and TAT.
-  struct DataReduceResult {
-    std::vector<std::vector<std::int32_t>> outputs;
-    std::vector<Time> tat;
-  };
-  DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates);
+  using DataReduceResult = Fabric::DataReduceResult;
+  DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates) {
+    return fabric_.reduce_i32(updates);
+  }
 
 private:
   ClusterConfig config_;
-  sim::Simulation sim_;
-  std::unique_ptr<swprog::AggregationSwitch> switch_;
-  std::vector<std::unique_ptr<worker::Worker>> workers_;
-  std::vector<std::unique_ptr<net::Link>> links_;
-  std::unique_ptr<net::Tracer> tracer_;
+  Fabric fabric_;
 };
 
 // --- §6: multi-job (tenancy) -------------------------------------------------
@@ -94,69 +71,89 @@ private:
 // on their own ports, so jobs contend only for switch pipeline/SRAM — which
 // is the paper's point: one reduction uses well under 10% of the chip, so
 // concurrent jobs do not slow each other down.
-struct MultiJobConfig {
+struct MultiJobConfig : FabricParams {
   int n_jobs = 2;
   int workers_per_job = 4;
-  BitsPerSecond link_rate = gbps(10);
-  Time propagation = nsec(500);
-  std::int64_t queue_limit_bytes = 16 * kMiB;
-  double loss_prob = 0.0;
-  std::uint32_t pool_size = 128;
-  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket;
-  Time retransmit_timeout = msec(1);
-  net::NicConfig nic = switchml_worker_nic_10g();
-  bool timing_only = false;
-  Time switch_latency = nsec(400);
-  std::size_t sram_budget_bytes = 4 * kMiB;
-  std::uint64_t seed = 42;
+
+  [[nodiscard]] FabricConfig fabric() const {
+    return FabricConfig(*this, MultiJobSpec{n_jobs, workers_per_job});
+  }
 };
 
 class MultiJobCluster {
 public:
-  explicit MultiJobCluster(const MultiJobConfig& config);
+  explicit MultiJobCluster(const MultiJobConfig& config)
+      : config_(config), fabric_(config.fabric()) {}
   MultiJobCluster(const MultiJobCluster&) = delete;
   MultiJobCluster& operator=(const MultiJobCluster&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] int n_jobs() const { return config_.n_jobs; }
+  [[nodiscard]] sim::Simulation& simulation() { return fabric_.simulation(); }
+  [[nodiscard]] int n_jobs() const { return fabric_.n_jobs(); }
   [[nodiscard]] worker::Worker& worker(int job, int i) {
-    return *workers_.at(static_cast<std::size_t>(job * config_.workers_per_job + i));
+    return fabric_.worker(job * config_.workers_per_job + i);
   }
-  [[nodiscard]] swprog::AggregationSwitch& agg_switch() { return *switch_; }
+  [[nodiscard]] swprog::AggregationSwitch& agg_switch() { return fabric_.root(); }
+  [[nodiscard]] const MultiJobConfig& config() const { return config_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return fabric_.metrics(); }
 
   // Runs one timing-only reduction of `total_elems` on EVERY job
   // concurrently; returns per-job, per-worker TATs.
-  std::vector<std::vector<Time>> reduce_timing_all(std::uint64_t total_elems);
+  std::vector<std::vector<Time>> reduce_timing_all(std::uint64_t total_elems) {
+    return fabric_.reduce_timing_all(total_elems);
+  }
 
   // Data mode for one job (other jobs idle).
   Cluster::DataReduceResult reduce_i32(int job,
-                                       const std::vector<std::vector<std::int32_t>>& updates);
+                                       const std::vector<std::vector<std::int32_t>>& updates) {
+    return fabric_.reduce_i32_job(job, updates);
+  }
 
 private:
   MultiJobConfig config_;
-  sim::Simulation sim_;
-  std::unique_ptr<swprog::AggregationSwitch> switch_;
-  std::vector<std::unique_ptr<worker::Worker>> workers_;
-  std::vector<std::unique_ptr<net::Link>> links_;
+  Fabric fabric_;
 };
 
 // --- §6: hierarchical multi-rack composition --------------------------------
 
-struct HierarchyConfig {
+struct HierarchyConfig : FabricParams {
   int racks = 2;
   int workers_per_rack = 8;
-  BitsPerSecond worker_link_rate = gbps(10);
-  BitsPerSecond uplink_rate = gbps(10); // leaf -> root (>= worker rate: p:1 reduction)
-  Time propagation = nsec(500);
-  std::int64_t queue_limit_bytes = 16 * kMiB;
-  double loss_prob = 0.0;
-  std::uint32_t pool_size = 128;
-  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket;
-  Time retransmit_timeout = msec(1);
-  net::NicConfig nic = switchml_worker_nic_10g();
-  bool timing_only = false;
-  Time switch_latency = nsec(400);
-  std::uint64_t seed = 42;
+
+  [[nodiscard]] FabricConfig fabric() const {
+    return FabricConfig(*this, HierarchySpec{racks, workers_per_rack});
+  }
+};
+
+class HierarchicalCluster {
+public:
+  explicit HierarchicalCluster(const HierarchyConfig& config)
+      : config_(config), fabric_(config.fabric()) {}
+  HierarchicalCluster(const HierarchicalCluster&) = delete;
+  HierarchicalCluster& operator=(const HierarchicalCluster&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return fabric_.simulation(); }
+  [[nodiscard]] int n_workers() const { return fabric_.n_workers(); }
+  [[nodiscard]] worker::Worker& worker(int i) { return fabric_.worker(i); }
+  [[nodiscard]] swprog::AggregationSwitch& leaf(int r) {
+    return fabric_.switch_at(1 + static_cast<std::size_t>(r));
+  }
+  [[nodiscard]] swprog::AggregationSwitch& root() { return fabric_.root(); }
+  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return fabric_.metrics(); }
+
+  void set_loss_prob(double p) { fabric_.set_loss_prob(p); }
+  std::vector<Time> reduce_timing(std::uint64_t total_elems) {
+    return fabric_.reduce_timing(total_elems);
+  }
+  Cluster::DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates) {
+    return fabric_.reduce_i32(updates);
+  }
+
+private:
+  HierarchyConfig config_;
+  Fabric fabric_;
 };
 
 // Arbitrary-depth tree of aggregation switches (§6: "a very large n coupled
@@ -165,79 +162,47 @@ struct HierarchyConfig {
 // which composes recursively: completion forwards ONE partial upstream,
 // results cascade downward, and worker retransmissions regenerate partials
 // at every affected level.
-struct TreeConfig {
-  int levels = 3;          // including the root (2 == HierarchicalCluster)
-  int branching = 2;       // children per non-leaf switch
+struct TreeConfig : FabricParams {
+  int levels = 3;           // including the root (2 == HierarchicalCluster)
+  int branching = 2;        // children per non-leaf switch
   int workers_per_rack = 4; // workers per bottom-level switch
-  BitsPerSecond link_rate = gbps(10);
-  Time propagation = nsec(500);
-  std::int64_t queue_limit_bytes = 16 * kMiB;
-  double loss_prob = 0.0;
-  std::uint32_t pool_size = 64;
-  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket;
-  Time retransmit_timeout = msec(1);
-  net::NicConfig nic = switchml_worker_nic_10g();
-  bool timing_only = false;
-  Time switch_latency = nsec(400);
-  std::uint64_t seed = 42;
+
+  TreeConfig() { pool_size = 64; }
+
+  [[nodiscard]] FabricConfig fabric() const {
+    return FabricConfig(*this, TreeSpec{levels, branching, workers_per_rack});
+  }
 };
 
 class TreeCluster {
 public:
-  explicit TreeCluster(const TreeConfig& config);
+  explicit TreeCluster(const TreeConfig& config) : config_(config), fabric_(config.fabric()) {}
   TreeCluster(const TreeCluster&) = delete;
   TreeCluster& operator=(const TreeCluster&) = delete;
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] int n_workers() const { return static_cast<int>(workers_.size()); }
-  [[nodiscard]] worker::Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
-  [[nodiscard]] swprog::AggregationSwitch& root() { return *switches_.front(); }
-  [[nodiscard]] std::size_t n_switches() const { return switches_.size(); }
-  [[nodiscard]] swprog::AggregationSwitch& switch_at(std::size_t i) { return *switches_.at(i); }
+  [[nodiscard]] sim::Simulation& simulation() { return fabric_.simulation(); }
+  [[nodiscard]] int n_workers() const { return fabric_.n_workers(); }
+  [[nodiscard]] worker::Worker& worker(int i) { return fabric_.worker(i); }
+  [[nodiscard]] swprog::AggregationSwitch& root() { return fabric_.root(); }
+  [[nodiscard]] std::size_t n_switches() const { return fabric_.n_switches(); }
+  [[nodiscard]] swprog::AggregationSwitch& switch_at(std::size_t i) {
+    return fabric_.switch_at(i);
+  }
   [[nodiscard]] const TreeConfig& config() const { return config_; }
+  [[nodiscard]] Fabric& fabric() { return fabric_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return fabric_.metrics(); }
 
-  void set_loss_prob(double p);
-  std::vector<Time> reduce_timing(std::uint64_t total_elems);
-  Cluster::DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates);
+  void set_loss_prob(double p) { fabric_.set_loss_prob(p); }
+  std::vector<Time> reduce_timing(std::uint64_t total_elems) {
+    return fabric_.reduce_timing(total_elems);
+  }
+  Cluster::DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates) {
+    return fabric_.reduce_i32(updates);
+  }
 
 private:
-  // Builds the subtree under `parent` (or the root when parent is null);
-  // returns the new switch.
-  swprog::AggregationSwitch* build_switch(int level, swprog::AggregationSwitch* parent,
-                                          int index_at_parent, int& next_worker);
-
   TreeConfig config_;
-  sim::Simulation sim_;
-  std::vector<std::unique_ptr<swprog::AggregationSwitch>> switches_; // [0] = root
-  std::vector<std::unique_ptr<worker::Worker>> workers_;
-  std::vector<std::unique_ptr<net::Link>> links_;
-  net::NodeId next_switch_id_ = 30'000;
-};
-
-class HierarchicalCluster {
-public:
-  explicit HierarchicalCluster(const HierarchyConfig& config);
-  HierarchicalCluster(const HierarchicalCluster&) = delete;
-  HierarchicalCluster& operator=(const HierarchicalCluster&) = delete;
-
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
-  [[nodiscard]] int n_workers() const { return static_cast<int>(workers_.size()); }
-  [[nodiscard]] worker::Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
-  [[nodiscard]] swprog::AggregationSwitch& leaf(int r) { return *leaves_.at(static_cast<std::size_t>(r)); }
-  [[nodiscard]] swprog::AggregationSwitch& root() { return *root_; }
-  [[nodiscard]] const HierarchyConfig& config() const { return config_; }
-
-  void set_loss_prob(double p);
-  std::vector<Time> reduce_timing(std::uint64_t total_elems);
-  Cluster::DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates);
-
-private:
-  HierarchyConfig config_;
-  sim::Simulation sim_;
-  std::unique_ptr<swprog::AggregationSwitch> root_;
-  std::vector<std::unique_ptr<swprog::AggregationSwitch>> leaves_;
-  std::vector<std::unique_ptr<worker::Worker>> workers_;
-  std::vector<std::unique_ptr<net::Link>> links_;
+  Fabric fabric_;
 };
 
 } // namespace switchml::core

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/metrics.hpp"
+
 namespace switchml::net {
 
 Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, int port_a,
@@ -17,6 +19,18 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
       b_to_a_{&end_a, port_a, 0, 0, {}, {},
               sim::Rng::stream(seed, end_b.name() + "->" + end_a.name())} {
   if (config.rate <= 0) throw std::invalid_argument("Link rate must be positive");
+
+  if (auto* reg = MetricsRegistry::current()) {
+    auto add_direction = [reg](const std::string& prefix, const Counters& c) {
+      reg->add_counter(prefix + "tx_packets", [&c] { return c.tx_packets; });
+      reg->add_counter(prefix + "tx_bytes", [&c] { return c.tx_bytes; });
+      reg->add_counter(prefix + "delivered_packets", [&c] { return c.delivered_packets; });
+      reg->add_counter(prefix + "dropped_queue", [&c] { return c.dropped_queue; });
+      reg->add_counter(prefix + "dropped_loss", [&c] { return c.dropped_loss; });
+    };
+    add_direction("link." + end_a.name() + "->" + end_b.name() + ".", a_to_b_.counters);
+    add_direction("link." + end_b.name() + "->" + end_a.name() + ".", b_to_a_.counters);
+  }
 }
 
 Link::Direction& Link::direction_from(const Node& sender) {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace switchml::net {
 
@@ -11,7 +12,17 @@ namespace switchml::net {
 
 TransportHost::TransportHost(sim::Simulation& simulation, NodeId id, std::string name,
                              const NicConfig& nic)
-    : Node(simulation, id, std::move(name)), nic_(simulation, nic) {}
+    : Node(simulation, id, std::move(name)), nic_(simulation, nic) {
+  if (auto* reg = MetricsRegistry::current()) {
+    const std::string p = this->name() + ".transport.";
+    reg->add_counter(p + "segments_sent", [this] { return transport_counters_.segments_sent; });
+    reg->add_counter(p + "retransmissions",
+                     [this] { return transport_counters_.retransmissions; });
+    reg->add_counter(p + "timeouts", [this] { return transport_counters_.timeouts; });
+    reg->add_counter(p + "fast_retransmits",
+                     [this] { return transport_counters_.fast_retransmits; });
+  }
+}
 
 void TransportHost::transmit(Packet&& p) {
   if (uplink_ == nullptr) throw std::logic_error(name() + ": transmit without uplink");
@@ -88,6 +99,7 @@ void ReliableSender::send_segment(std::int64_t seq) {
                      data_.begin() + static_cast<std::ptrdiff_t>(first + count));
   }
   ++counters_.segments_sent;
+  ++host_.transport_counters().segments_sent;
   host_.transmit(std::move(p));
 }
 
@@ -111,8 +123,11 @@ void ReliableSender::arm_rto() {
 void ReliableSender::on_timeout() {
   if (done()) return;
   ++counters_.timeouts;
-  counters_.retransmissions +=
+  ++host_.transport_counters().timeouts;
+  const auto window_segs =
       static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
+  counters_.retransmissions += window_segs;
+  host_.transport_counters().retransmissions += window_segs;
   snd_nxt_ = snd_una_; // go-back-N
   if (profile_.congestion_control) {
     // RTO is a serious congestion signal: collapse to one segment and
@@ -156,6 +171,8 @@ void ReliableSender::on_ack(const Packet& ack) {
       // same hole are ignored until it is repaired (fast recovery).
       ++counters_.fast_retransmits;
       ++counters_.retransmissions;
+      ++host_.transport_counters().fast_retransmits;
+      ++host_.transport_counters().retransmissions;
       in_fast_recovery_ = true;
       dupacks_ = 0;
       if (profile_.congestion_control) {

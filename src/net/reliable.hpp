@@ -42,6 +42,16 @@ struct TransportProfile {
 class ReliableSender;
 class ReliableReceiver;
 
+// Host-wide transport totals, aggregated across all senders that ever lived
+// on the host. Senders are per-transfer and ephemeral, so the registered
+// metrics hang off the host, which lives as long as the cluster.
+struct TransportCounters {
+  std::uint64_t segments_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+};
+
 class TransportHost : public Node {
 public:
   TransportHost(sim::Simulation& simulation, NodeId id, std::string name, const NicConfig& nic);
@@ -60,11 +70,15 @@ public:
   void unregister_sender(std::uint32_t stream) { senders_.erase(stream); }
   void unregister_receiver(std::uint32_t stream) { receivers_.erase(stream); }
 
+  [[nodiscard]] TransportCounters& transport_counters() { return transport_counters_; }
+  [[nodiscard]] const TransportCounters& transport_counters() const { return transport_counters_; }
+
 private:
   HostNic nic_;
   Link* uplink_ = nullptr;
   std::unordered_map<std::uint32_t, ReliableSender*> senders_;
   std::unordered_map<std::uint32_t, ReliableReceiver*> receivers_;
+  TransportCounters transport_counters_;
 };
 
 // Sends `total_bytes` to `dst` as a single stream. If `data` is nonempty it

@@ -7,20 +7,38 @@ namespace switchml::sim {
 
 void Simulation::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn), nullptr});
+  queue_.push(Event{at, next_seq_++, std::move(fn), kNoTimer, 0});
 }
 
 TimerHandle Simulation::schedule_timer(Time delay, std::function<void()> fn) {
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), alive});
-  return TimerHandle(std::move(alive));
+  std::uint32_t slot;
+  if (!free_timer_slots_.empty()) {
+    slot = free_timer_slots_.back();
+    free_timer_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(timer_slots_.size());
+    timer_slots_.emplace_back();
+  }
+  TimerSlot& ts = timer_slots_[slot];
+  ts.armed = true;
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), slot, ts.gen});
+  return TimerHandle(this, slot, ts.gen);
 }
 
 bool Simulation::dispatch_one() {
   // const_cast is safe: we pop immediately after moving the closure out, and
   // the heap ordering does not depend on `fn`.
   Event& top = const_cast<Event&>(queue_.top());
-  const bool cancelled = top.alive && !*top.alive;
+  bool cancelled = false;
+  if (top.timer_slot != kNoTimer) {
+    TimerSlot& ts = timer_slots_[top.timer_slot];
+    cancelled = !ts.armed;
+    // The slot's one queued event is popping now: invalidate outstanding
+    // handles and recycle the slot.
+    ++ts.gen;
+    ts.armed = false;
+    free_timer_slots_.push_back(top.timer_slot);
+  }
   if (cancelled) {
     // Cancelled timers are skipped without advancing the clock: nothing
     // observable happens at their expiry time.

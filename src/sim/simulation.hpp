@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -17,22 +16,32 @@ namespace switchml::sim {
 
 using switchml::Time;
 
+class Simulation;
+
 // Handle to a scheduled event that may be cancelled (used for protocol
 // retransmission timers). Cancellation is O(1): the event stays queued but is
 // skipped when popped.
+//
+// The handle is a (slot, generation) pair into a pool inside the Simulation
+// rather than a shared_ptr control block, so scheduling a timer does no heap
+// allocation beyond the event queue itself. A slot is recycled only when its
+// event pops, and popping bumps the generation, so stale handles (cancel or
+// armed() after the timer fired) are detected and inert.
 class TimerHandle {
 public:
   TimerHandle() = default;
 
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
-  [[nodiscard]] bool armed() const { return alive_ && *alive_; }
+  void cancel();
+  [[nodiscard]] bool armed() const;
 
 private:
   friend class Simulation;
-  explicit TimerHandle(std::shared_ptr<bool> alive) : alive_(std::move(alive)) {}
-  std::shared_ptr<bool> alive_;
+  TimerHandle(Simulation* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulation* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulation {
@@ -69,11 +78,21 @@ public:
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
 private:
+  friend class TimerHandle;
+
+  static constexpr std::uint32_t kNoTimer = UINT32_MAX;
+
+  struct TimerSlot {
+    std::uint32_t gen = 0; // bumped when the slot's event pops => handles stale
+    bool armed = false;
+  };
+
   struct Event {
     Time at;
     std::uint64_t seq; // FIFO tie-break for same-time events
     std::function<void()> fn;
-    std::shared_ptr<bool> alive; // null => not cancellable
+    std::uint32_t timer_slot = kNoTimer; // kNoTimer => not cancellable
+    std::uint32_t timer_gen = 0;
 
     // std::priority_queue is a max-heap; invert so the earliest event pops first.
     bool operator<(const Event& other) const {
@@ -84,11 +103,25 @@ private:
 
   bool dispatch_one();
 
+  [[nodiscard]] bool timer_live(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < timer_slots_.size() && timer_slots_[slot].gen == gen;
+  }
+
   std::priority_queue<Event> queue_;
+  std::vector<TimerSlot> timer_slots_;
+  std::vector<std::uint32_t> free_timer_slots_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
 };
+
+inline void TimerHandle::cancel() {
+  if (sim_ && sim_->timer_live(slot_, gen_)) sim_->timer_slots_[slot_].armed = false;
+}
+
+inline bool TimerHandle::armed() const {
+  return sim_ && sim_->timer_live(slot_, gen_) && sim_->timer_slots_[slot_].armed;
+}
 
 } // namespace switchml::sim

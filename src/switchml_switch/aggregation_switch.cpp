@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/metrics.hpp"
+
 namespace switchml::swprog {
 
 namespace {
@@ -32,6 +34,19 @@ AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id
   job0.multicast_group = config.multicast_group;
   if (!admit_job(0, job0))
     throw std::invalid_argument("AggregationSwitch: job 0 does not fit the SRAM budget");
+
+  if (auto* reg = MetricsRegistry::current()) {
+    const std::string p = this->name() + ".";
+    reg->add_counter(p + "updates_received", [this] { return counters_.updates_received; });
+    reg->add_counter(p + "duplicate_updates", [this] { return counters_.duplicate_updates; });
+    reg->add_counter(p + "completions", [this] { return counters_.completions; });
+    reg->add_counter(p + "results_multicast", [this] { return counters_.results_multicast; });
+    reg->add_counter(p + "unicast_replies", [this] { return counters_.unicast_replies; });
+    reg->add_counter(p + "upstream_partials", [this] { return counters_.upstream_partials; });
+    reg->add_counter(p + "results_from_parent", [this] { return counters_.results_from_parent; });
+    reg->add_counter(p + "unknown_job_drops", [this] { return counters_.unknown_job_drops; });
+    reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
+  }
 }
 
 std::size_t AggregationSwitch::job_register_bytes(const JobParams& params) const {

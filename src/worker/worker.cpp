@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/log.hpp"
+#include "common/metrics.hpp"
 
 namespace switchml::worker {
 
@@ -20,6 +21,17 @@ Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
   if (config.pool_size == 0) throw std::invalid_argument("Worker: pool_size must be positive");
   if (config.elems_per_packet == 0)
     throw std::invalid_argument("Worker: elems_per_packet must be positive");
+
+  if (auto* reg = MetricsRegistry::current()) {
+    const std::string p = this->name() + ".";
+    reg->add_counter(p + "updates_sent", [this] { return counters_.updates_sent; });
+    reg->add_counter(p + "retransmissions", [this] { return counters_.retransmissions; });
+    reg->add_counter(p + "timeouts", [this] { return counters_.timeouts; });
+    reg->add_counter(p + "results_received", [this] { return counters_.results_received; });
+    reg->add_counter(p + "duplicate_results", [this] { return counters_.duplicate_results; });
+    reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
+    reg->add_summary(p + "rtt_us", &rtt_);
+  }
 }
 
 void Worker::rtt_sample(Time sample) {
