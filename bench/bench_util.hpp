@@ -3,9 +3,11 @@
 // (--fast shrinks tensors so the whole suite smoke-runs in seconds).
 #pragma once
 
+#include <cctype>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "collectives/streaming_ps.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/timeline.hpp"
 #include "core/allreduce.hpp"
 #include "core/cluster.hpp"
 #include "core/profiles.hpp"
@@ -28,6 +31,49 @@ inline bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], flag) == 0) return true;
   return false;
+}
+
+// Value of "--flag value" or "--flag=value"; empty when absent.
+inline std::string arg_value(int argc, char** argv, const char* flag) {
+  const std::size_t flag_len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0)
+      return i + 1 < argc ? argv[i + 1] : std::string{};
+    if (std::strncmp(argv[i], flag, flag_len) == 0 && argv[i][flag_len] == '=')
+      return argv[i] + flag_len + 1;
+  }
+  return {};
+}
+
+// Shared handling for the benches' `--timeline-out PREFIX` flag: each labeled
+// run writes a TimelineRecorder sidecar to "<PREFIX>_<label>.jsonl" (or .csv
+// when PREFIX ends in ".csv"). Empty prefix disables recording entirely.
+struct TimelineRequest {
+  std::string prefix;
+  Time period = msec(1);
+
+  static TimelineRequest from_args(int argc, char** argv, Time period = msec(1)) {
+    TimelineRequest req{arg_value(argc, argv, "--timeline-out"), period};
+    const std::string us = arg_value(argc, argv, "--timeline-period-us");
+    if (!us.empty()) req.period = usec(std::stoll(us));
+    return req;
+  }
+  [[nodiscard]] bool enabled() const { return !prefix.empty(); }
+};
+
+inline std::string sanitize_label(std::string label) {
+  for (char& c : label)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return label;
+}
+
+inline void write_timeline(const TimelineRequest& req, const TimelineRecorder& timeline,
+                           const std::string& label) {
+  const bool csv = req.prefix.size() > 4 && req.prefix.ends_with(".csv");
+  const std::string base = csv ? req.prefix.substr(0, req.prefix.size() - 4) : req.prefix;
+  const std::string path = base + (label.empty() ? "" : "_" + sanitize_label(label)) +
+                           (csv ? ".csv" : ".jsonl");
+  timeline.write(path, csv ? TimelineRecorder::Format::kCsv : TimelineRecorder::Format::kJsonl);
 }
 
 // Collects one labeled MetricsRegistry snapshot per measured configuration
@@ -80,12 +126,40 @@ struct RateResult {
   double rtt_us = 0.0;     // median per-packet RTT (SwitchML only)
 };
 
+// Arms a TimelineRecorder over a measured run when `req` asks for one; the
+// measure_* helpers call start()/finish_and_write() around their rep loops.
+class ScopedTimeline {
+public:
+  ScopedTimeline(const TimelineRequest* req, sim::Simulation& sim, MetricsRegistry& registry,
+                 std::string label)
+      : req_(req), label_(std::move(label)) {
+    if (req_ == nullptr || !req_->enabled()) return;
+    TimelineRecorder::Config tc;
+    tc.period = req_->period;
+    recorder_ = std::make_unique<TimelineRecorder>(sim, registry, tc);
+    recorder_->start();
+  }
+
+  void finish_and_write() {
+    if (!recorder_) return;
+    recorder_->finish();
+    write_timeline(*req_, *recorder_, label_);
+    recorder_.reset();
+  }
+
+private:
+  const TimelineRequest* req_;
+  std::string label_;
+  std::unique_ptr<TimelineRecorder> recorder_;
+};
+
 inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchScale& scale,
                                    std::uint32_t pool_size = 0, bool mtu = false,
                                    double loss = 0.0, std::uint8_t wire_elem_bytes = 4,
                                    double extra_per_byte_ns = 0.0, bool adaptive_rto = false,
                                    MetricsSidecar* sidecar = nullptr,
-                                   const std::string& label = {}) {
+                                   const std::string& label = {},
+                                   const TimelineRequest* timeline = nullptr) {
   core::ClusterConfig cfg = core::ClusterConfig::for_rate(rate, workers);
   cfg.timing_only = true;
   if (pool_size != 0) cfg.pool_size = pool_size;
@@ -101,12 +175,14 @@ inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchS
     cfg.mtu_emulation = true;
   }
   core::Cluster cluster(cfg);
+  ScopedTimeline scoped(timeline, cluster.simulation(), cluster.metrics(), label);
 
   Summary tat_ms;
   for (int r = 0; r < scale.repetitions; ++r) {
     auto tats = cluster.reduce_timing(scale.tensor_elems);
     for (Time t : tats) tat_ms.add(to_msec(t));
   }
+  scoped.finish_and_write();
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
@@ -140,7 +216,8 @@ inline const char* baseline_name(BaselineKind k) {
 inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, int workers,
                                        const BenchScale& scale, double loss = 0.0,
                                        MetricsSidecar* sidecar = nullptr,
-                                       const std::string& label = {}) {
+                                       const std::string& label = {},
+                                       const TimelineRequest* timeline = nullptr) {
   collectives::StreamingPsConfig cfg;
   cfg.n_workers = workers;
   cfg.placement = kind == BaselineKind::ColocatedPs
@@ -154,11 +231,13 @@ inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, in
   if (kind == BaselineKind::DedicatedPsMtu) cfg.elems_per_packet = net::kMtuElemsPerPacket;
 
   collectives::StreamingPsCluster cluster(cfg);
+  ScopedTimeline scoped(timeline, cluster.simulation(), cluster.metrics(), label);
   Summary tat_ms;
   for (int r = 0; r < scale.repetitions; ++r) {
     auto tats = cluster.reduce_timing(scale.tensor_elems);
     for (Time t : tats) tat_ms.add(to_msec(t));
   }
+  scoped.finish_and_write();
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
@@ -169,10 +248,11 @@ inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, in
 inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int workers,
                                    const BenchScale& scale, double loss = 0.0,
                                    MetricsSidecar* sidecar = nullptr,
-                                   const std::string& label = {}) {
+                                   const std::string& label = {},
+                                   const TimelineRequest* timeline = nullptr) {
   if (kind == BaselineKind::DedicatedPs || kind == BaselineKind::ColocatedPs ||
       kind == BaselineKind::DedicatedPsMtu)
-    return measure_streaming_ps(kind, rate, workers, scale, loss, sidecar, label);
+    return measure_streaming_ps(kind, rate, workers, scale, loss, sidecar, label, timeline);
 
   collectives::BaselineClusterConfig cfg;
   cfg.link_rate = rate;
@@ -217,6 +297,7 @@ inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int wo
   }
 
   collectives::BaselineCluster cluster(cfg);
+  ScopedTimeline scoped(timeline, cluster.simulation(), cluster.metrics(), label);
   const std::int64_t bytes = static_cast<std::int64_t>(scale.tensor_elems) * 4;
 
   Summary tat_ms;
@@ -251,6 +332,7 @@ inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int wo
     }
     tat_ms.add(to_msec(t));
   }
+  scoped.finish_and_write();
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);

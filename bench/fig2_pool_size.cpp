@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const BenchScale scale = BenchScale::from_args(argc, argv, 4'000'000, 2);
   const std::uint64_t tensor_bytes = scale.tensor_elems * 4;
   MetricsSidecar sidecar("fig2_pool_size_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
 
   for (BitsPerSecond rate : {gbps(10), gbps(100)}) {
     std::printf("=== Figure 2: pool size sweep, %lld Gbps, tensor %.1f MB, 8 workers ===\n",
@@ -30,7 +31,8 @@ int main(int argc, char** argv) {
     for (std::uint32_t s : {32u, 64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
       const std::string label =
           std::to_string(rate / kGbps) + "gbps.pool-" + std::to_string(s);
-      auto r = measure_switchml(rate, 8, scale, s, false, 0.0, 4, 0.0, false, &sidecar, label);
+      auto r = measure_switchml(rate, 8, scale, s, false, 0.0, 4, 0.0, false, &sidecar, label,
+                                &timeline_req);
       table.add_row({std::to_string(s), Table::num(r.tat_ms), Table::num(r.rtt_us),
                      Table::num(line_ms)});
     }

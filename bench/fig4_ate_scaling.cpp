@@ -15,6 +15,7 @@ using namespace switchml::bench;
 
 int main(int argc, char** argv) {
   const BenchScale scale = BenchScale::from_args(argc, argv, 2'000'000, 2);
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
 
   for (BitsPerSecond rate : {gbps(10), gbps(100)}) {
     std::printf("=== Figure 4: ATE/s (x1e6), %lld Gbps, tensor %.1f MB ===\n",
@@ -28,12 +29,21 @@ int main(int argc, char** argv) {
       table.add_row(std::move(cells));
     };
 
-    row("SwitchML", [&](int n) { return measure_switchml(rate, n, scale).ate_per_s; });
+    const std::string gtag = std::to_string(rate / kGbps) + "gbps.";
+    row("SwitchML", [&](int n) {
+      return measure_switchml(rate, n, scale, 0, false, 0.0, 4, 0.0, false, nullptr,
+                              gtag + "switchml-n" + std::to_string(n), &timeline_req)
+          .ate_per_s;
+    });
     row("Gloo", [&](int n) {
-      return measure_baseline(BaselineKind::GlooRing, rate, n, scale).ate_per_s;
+      return measure_baseline(BaselineKind::GlooRing, rate, n, scale, 0.0, nullptr,
+                              gtag + "gloo-n" + std::to_string(n), &timeline_req)
+          .ate_per_s;
     });
     row("NCCL", [&](int n) {
-      return measure_baseline(BaselineKind::NcclRing, rate, n, scale).ate_per_s;
+      return measure_baseline(BaselineKind::NcclRing, rate, n, scale, 0.0, nullptr,
+                              gtag + "nccl-n" + std::to_string(n), &timeline_req)
+          .ate_per_s;
     });
     row("Gloo-RDMA (5.4)", [&](int n) {
       return measure_baseline(BaselineKind::GlooRdmaRing, rate, n, scale).ate_per_s;
@@ -52,7 +62,10 @@ int main(int argc, char** argv) {
     });
     row("line rate (ring)", [&](int n) { return collectives::ring_ate_rate(rate, n); });
 
-    std::printf("%s\n", table.to_string().c_str());
+    std::printf("%s", table.to_string().c_str());
+    std::printf("(SwitchML line-rate bound: %selem/s, independent of n)\n\n",
+                format_si(collectives::switchml_ate_rate(rate, net::kDefaultElemsPerPacket))
+                    .c_str());
   }
   return 0;
 }

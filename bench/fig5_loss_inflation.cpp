@@ -20,26 +20,32 @@ int main(int argc, char** argv) {
 
   std::printf("=== Figure 5: TAT inflation vs loss rate (10 Gbps, 8 workers) ===\n");
   MetricsSidecar sidecar("fig5_loss_inflation_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
   const double base_fixed = measure_switchml(rate, workers, scale).tat_ms;
   const double base_adapt =
       measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, true).tat_ms;
   const double base_gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale).tat_ms;
   const double base_nccl = measure_baseline(BaselineKind::NcclRing, rate, workers, scale).tat_ms;
 
+  std::printf("loss-free TATs: SwitchML %s (fixed RTO) / %s (adaptive), Gloo %s, NCCL %s\n",
+              format_duration(static_cast<Time>(base_fixed * 1e6)).c_str(),
+              format_duration(static_cast<Time>(base_adapt * 1e6)).c_str(),
+              format_duration(static_cast<Time>(base_gloo * 1e6)).c_str(),
+              format_duration(static_cast<Time>(base_nccl * 1e6)).c_str());
   Table table({"loss rate", "SwitchML (1ms RTO)", "SwitchML (adaptive RTO)", "Gloo", "NCCL"});
   for (double loss : {0.0001, 0.001, 0.01}) {
     const std::string tag = "loss-" + Table::num(loss * 100, 2) + "pct.";
     const double fixed = measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, false,
-                                          &sidecar, tag + "switchml-fixed-rto")
+                                          &sidecar, tag + "switchml-fixed-rto", &timeline_req)
                              .tat_ms;
     const double adapt = measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, true,
-                                          &sidecar, tag + "switchml-adaptive-rto")
+                                          &sidecar, tag + "switchml-adaptive-rto", &timeline_req)
                              .tat_ms;
     const double gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale, loss,
-                                         &sidecar, tag + "gloo")
+                                         &sidecar, tag + "gloo", &timeline_req)
                             .tat_ms;
     const double nccl = measure_baseline(BaselineKind::NcclRing, rate, workers, scale, loss,
-                                         &sidecar, tag + "nccl")
+                                         &sidecar, tag + "nccl", &timeline_req)
                             .tat_ms;
     table.add_row({Table::num(loss * 100, 2) + "%", Table::num(fixed / base_fixed, 2) + "x",
                    Table::num(adapt / base_adapt, 2) + "x",

@@ -6,9 +6,20 @@
 // packet rate and recovers quickly; at 1% loss the tail of the aggregation
 // slows down because some slots are unevenly hit by losses (§5.5's
 // work-stealing remark).
+//
+// Observability surfaces exercised here:
+//  - the per-10ms buckets are TimelineRecorder deltas of the worker's
+//    NIC-level "updates_wired" counter (sampled on the sim clock);
+//  - the lossy (1%) run writes a full time-series sidecar
+//    (fig6_timeline.jsonl: every counter as a rate, every gauge as a level,
+//    including retransmissions/s and in-flight slots) and a Chrome-trace JSON
+//    (fig6_trace.json) loadable in Perfetto / chrome://tracing;
+//  - `--timeline-out PREFIX` additionally writes a sidecar per loss point.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
+#include "common/tracing.hpp"
 
 using namespace switchml;
 using namespace switchml::bench;
@@ -17,6 +28,7 @@ int main(int argc, char** argv) {
   const bool fast = has_flag(argc, argv, "--fast");
   const std::uint64_t elems = fast ? 1'000'000 : 12'500'000; // 50 MB default
   const BitsPerSecond rate = gbps(10);
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(10));
 
   // Ideal packet rate: line-rate 180-byte packets.
   const double ideal_pkts_per_10ms = static_cast<double>(rate) / 8.0 / 180.0 / 100.0;
@@ -29,11 +41,27 @@ int main(int argc, char** argv) {
     cfg.timing_only = true;
     cfg.loss_prob = loss;
     cfg.adaptive_rto = true; // see fig5: recovers in ~4 RTTs like the paper
-    core::Cluster cluster(cfg);
-    cluster.worker(0).enable_tx_timeline(msec(10));
-    auto tats = cluster.reduce_timing(elems);
 
-    const auto& buckets = cluster.worker(0).tx_timeline();
+    // The 1% run doubles as the structured-tracing demo: capture the first
+    // chunk of worker/switch/link events for Perfetto. The buffer is bounded;
+    // overflow shows up in the drop counters, never silently.
+    const bool traced = loss == 0.01;
+    std::unique_ptr<trace::TraceSink> sink;
+    std::unique_ptr<trace::TraceSink::Scope> scope;
+    if (traced) {
+      sink = std::make_unique<trace::TraceSink>(fast ? (1u << 16) : (1u << 20));
+      scope = std::make_unique<trace::TraceSink::Scope>(sink.get());
+    }
+
+    core::Cluster cluster(cfg);
+    TimelineRecorder::Config tc;
+    tc.period = msec(10);
+    TimelineRecorder timeline(cluster.simulation(), cluster.metrics(), tc);
+    timeline.start();
+    auto tats = cluster.reduce_timing(elems);
+    timeline.finish();
+
+    const auto buckets = timeline.deltas("worker-0.updates_wired");
     std::printf("--- loss %.2f%%: TAT %.0f ms, resent %llu packets ---\n", loss * 100,
                 to_msec(tats[0]),
                 static_cast<unsigned long long>(cluster.worker(0).counters().retransmissions));
@@ -43,6 +71,18 @@ int main(int argc, char** argv) {
       std::printf("%6llu", static_cast<unsigned long long>(buckets[b]));
     }
     std::printf("\n\n");
+
+    if (traced) {
+      timeline.write("fig6_timeline.jsonl", TimelineRecorder::Format::kJsonl);
+      sink->write_chrome_json("fig6_trace.json");
+      std::printf("wrote fig6_timeline.jsonl (%zu samples) and fig6_trace.json "
+                  "(%zu events, %llu dropped)\n\n",
+                  timeline.sample_count(), sink->events().size(),
+                  static_cast<unsigned long long>(sink->total_drops()));
+    }
+    if (timeline_req.enabled())
+      write_timeline(timeline_req, timeline,
+                     "loss" + std::to_string(static_cast<int>(loss * 10000)));
   }
   return 0;
 }

@@ -19,29 +19,63 @@ bool ends_with(std::string_view name, std::string_view suffix) {
          name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Minimal JSON string escaping; metric names are ASCII identifiers plus
-// separators, but link names can embed arbitrary node names.
 void append_json_string(std::ostringstream& out, std::string_view s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      case '\t': out << "\\t"; break;
-      default: out << c;
-    }
-  }
-  out << '"';
+  out << json_quote(s);
 }
 
 } // namespace
 
+// Minimal JSON string escaping; metric names are ASCII identifiers plus
+// separators, but link names can embed arbitrary node names.
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void MetricsRegistry::check_unique(const std::string& name) const {
+  for (const auto& [n, s] : counters_)
+    if (n == name)
+      throw std::invalid_argument("MetricsRegistry: duplicate series name '" + name + "'");
+  for (const auto& [n, s] : gauges_)
+    if (n == name)
+      throw std::invalid_argument("MetricsRegistry: duplicate series name '" + name + "'");
+  for (const auto& [n, s] : summaries_)
+    if (n == name)
+      throw std::invalid_argument("MetricsRegistry: duplicate series name '" + name + "'");
+}
+
 void MetricsRegistry::add_counter(std::string name, Sampler sample) {
+  check_unique(name);
   counters_.emplace_back(std::move(name), std::move(sample));
 }
 
+void MetricsRegistry::add_gauge(std::string name, GaugeSampler sample) {
+  check_unique(name);
+  gauges_.emplace_back(std::move(name), std::move(sample));
+}
+
 void MetricsRegistry::add_summary(std::string name, const Summary* summary) {
+  check_unique(name);
   summaries_.emplace_back(std::move(name), summary);
 }
 
@@ -49,6 +83,8 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   Snapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, sample] : counters_) snap.counters.emplace_back(name, sample());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, sample] : gauges_) snap.gauges.emplace_back(name, sample());
   snap.summaries.reserve(summaries_.size());
   for (const auto& [name, summary] : summaries_) {
     SummaryStats stats;
@@ -63,6 +99,7 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   }
   auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.summaries.begin(), snap.summaries.end(), by_name);
   return snap;
 }
@@ -79,6 +116,18 @@ bool MetricsRegistry::Snapshot::has_counter(std::string_view name) const {
   return false;
 }
 
+std::int64_t MetricsRegistry::Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return v;
+  throw std::out_of_range("MetricsRegistry: no gauge named '" + std::string(name) + "'");
+}
+
+bool MetricsRegistry::Snapshot::has_gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges)
+    if (n == name) return true;
+  return false;
+}
+
 std::uint64_t MetricsRegistry::Snapshot::sum(std::string_view suffix) const {
   std::uint64_t total = 0;
   for (const auto& [n, v] : counters)
@@ -91,6 +140,14 @@ std::string MetricsRegistry::Snapshot::json() const {
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
     if (!first) out << ',';
     first = false;
     append_json_string(out, name);
@@ -114,9 +171,12 @@ std::string MetricsRegistry::Snapshot::json() const {
 std::string MetricsRegistry::Snapshot::table() const {
   std::size_t width = 0;
   for (const auto& [name, value] : counters) width = std::max(width, name.size());
+  for (const auto& [name, value] : gauges) width = std::max(width, name.size());
   for (const auto& [name, stats] : summaries) width = std::max(width, name.size());
   std::ostringstream out;
   for (const auto& [name, value] : counters)
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name << value << '\n';
+  for (const auto& [name, value] : gauges)
     out << std::left << std::setw(static_cast<int>(width) + 2) << name << value << '\n';
   for (const auto& [name, stats] : summaries) {
     out << std::left << std::setw(static_cast<int>(width) + 2) << name << std::setprecision(4)

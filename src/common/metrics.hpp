@@ -32,17 +32,28 @@
 
 namespace switchml {
 
+// Escapes `s` for embedding inside a JSON string literal and wraps it in
+// double quotes. Shared by the snapshot/timeline/trace JSON exporters.
+std::string json_quote(std::string_view s);
+
 class MetricsRegistry {
 public:
   using Sampler = std::function<std::uint64_t()>;
+  using GaugeSampler = std::function<std::int64_t()>;
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  // Registers a monotonically named counter. Names use dotted paths,
-  // "<component>.<field>", e.g. "worker-0.retransmissions".
+  // Registers a monotonically increasing counter. Names use dotted paths,
+  // "<component>.<field>", e.g. "worker-0.retransmissions". Names are unique
+  // across counters, gauges, and summaries; a duplicate registration throws
+  // std::invalid_argument instead of silently shadowing the earlier series.
   void add_counter(std::string name, Sampler sample);
+
+  // Registers an instantaneous level (queue depth, in-flight slots, current
+  // RTO). Timeline sampling reports gauges as-is, counters as deltas.
+  void add_gauge(std::string name, GaugeSampler sample);
 
   // Registers a distribution (e.g. a worker's per-packet RTT samples). The
   // Summary must outlive the registry's last snapshot().
@@ -55,23 +66,38 @@ public:
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;    // sorted by name
+    std::vector<std::pair<std::string, std::int64_t>> gauges;       // sorted by name
     std::vector<std::pair<std::string, SummaryStats>> summaries;    // sorted by name
 
     // Exact-name lookup; throws std::out_of_range if absent.
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
     [[nodiscard]] bool has_counter(std::string_view name) const;
+    [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+    [[nodiscard]] bool has_gauge(std::string_view name) const;
     // Sum of every counter whose name ends with `suffix` (e.g.
     // ".retransmissions" totals across all workers).
     [[nodiscard]] std::uint64_t sum(std::string_view suffix) const;
 
-    // {"counters": {...}, "summaries": {"name": {"count":..,"min":..,...}}}
+    // {"counters": {...}, "gauges": {...}, "summaries": {"name": {"count":..,...}}}
     [[nodiscard]] std::string json() const;
     // Aligned two-column table for terminal output.
     [[nodiscard]] std::string table() const;
   };
 
   [[nodiscard]] Snapshot snapshot() const;
-  [[nodiscard]] std::size_t size() const { return counters_.size() + summaries_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + summaries_.size();
+  }
+
+  // Registered samplers, in registration order. The TimelineRecorder walks
+  // these directly each tick so that per-tick sampling does not pay
+  // Snapshot's sort + string copies.
+  [[nodiscard]] const std::vector<std::pair<std::string, Sampler>>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, GaugeSampler>>& gauges() const {
+    return gauges_;
+  }
 
   // --- ambient registry ------------------------------------------------------
   // The registry components constructed right now should register into, or
@@ -91,7 +117,10 @@ public:
   };
 
 private:
+  void check_unique(const std::string& name) const;
+
   std::vector<std::pair<std::string, Sampler>> counters_;
+  std::vector<std::pair<std::string, GaugeSampler>> gauges_;
   std::vector<std::pair<std::string, const Summary*>> summaries_;
 };
 

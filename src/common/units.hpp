@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
 
 namespace switchml {
 
@@ -42,5 +44,52 @@ constexpr Time serialization_time(std::int64_t bytes, BitsPerSecond bps) {
 
 constexpr std::int64_t kKiB = 1024;
 constexpr std::int64_t kMiB = 1024 * kKiB;
+
+// "12.3 M", "456 k", "7.89 G" — decimal SI prefixes with three significant
+// figures, for bench table output (pkts/s, elems/s, bytes). Values below
+// 1000 print without a prefix or decimals ("512").
+inline std::string format_si(double value) {
+  static constexpr const char* kPrefixes[] = {"", " k", " M", " G", " T", " P"};
+  const bool neg = value < 0;
+  double v = neg ? -value : value;
+  int idx = 0;
+  while (v >= 1000.0 && idx < 5) {
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[48];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%.0f", neg ? "-" : "", v);
+  } else {
+    // Three significant figures: 1.23, 12.3, 123.
+    const int decimals = v < 10.0 ? 2 : (v < 100.0 ? 1 : 0);
+    std::snprintf(buf, sizeof(buf), "%s%.*f%s", neg ? "-" : "", decimals, v, kPrefixes[idx]);
+  }
+  return buf;
+}
+
+// Renders a sim::Time span in the most readable unit: "250 ns", "4.00 us",
+// "56.3 ms", "1.25 s". Three significant figures like format_si.
+inline std::string format_duration(Time t) {
+  const bool neg = t < 0;
+  const double ns = static_cast<double>(neg ? -t : t);
+  struct Unit {
+    double scale;
+    const char* suffix;
+  };
+  static constexpr Unit kUnits[] = {
+      {1.0, "ns"}, {1e3, "us"}, {1e6, "ms"}, {1e9, "s"}};
+  int idx = 0;
+  while (idx < 3 && ns >= kUnits[idx + 1].scale) ++idx;
+  const double v = ns / kUnits[idx].scale;
+  char buf[48];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%s%.0f ns", neg ? "-" : "", v);
+  } else {
+    const int decimals = v < 10.0 ? 2 : (v < 100.0 ? 1 : 0);
+    std::snprintf(buf, sizeof(buf), "%s%.*f %s", neg ? "-" : "", decimals, v, kUnits[idx].suffix);
+  }
+  return buf;
+}
 
 } // namespace switchml

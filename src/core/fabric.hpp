@@ -1,0 +1,201 @@
+// The unified fabric layer: one config, one topology builder, one owner for
+// every SwitchML deployment shape the paper evaluates.
+//
+// `FabricParams` carries the link/NIC/protocol parameters every deployment
+// shares; `TopologySpec` selects the shape (§1 rack star, §6 multi-job
+// tenancy, §6 two-level hierarchy, §6 arbitrary-depth tree); `TopologyBuilder`
+// turns the pair into wired nodes and links inside a `Fabric`. The four
+// cluster classes in core/cluster.hpp are thin facades over this one build
+// path, so a wiring rule (seeds, port layout, multicast groups, switch roles)
+// exists in exactly one place.
+//
+// Construction also installs a `MetricsRegistry` scope, so every worker,
+// switch, and link built here registers its counters; `Fabric::metrics()`
+// exposes the registry for tests and for the bench telemetry sidecars.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/stats.hpp"
+#include "core/profiles.hpp"
+#include "net/link.hpp"
+#include "switchml_switch/aggregation_switch.hpp"
+#include "worker/worker.hpp"
+
+namespace switchml::core {
+
+// Link/NIC/protocol parameters shared by every topology. Fields that only one
+// deployment exercises (e.g. `sram_budget_bytes` for tenancy, the ablation
+// switches for the rack benches) still live here: they default to the values
+// the other topologies always used, so setting them is opt-in.
+struct FabricParams {
+  BitsPerSecond link_rate = gbps(10);
+  // Switch-to-switch links (hierarchy/tree). 0 means "same as link_rate".
+  BitsPerSecond uplink_rate = 0;
+  Time propagation = nsec(500);
+  std::int64_t queue_limit_bytes = 16 * kMiB;
+  double loss_prob = 0.0;
+
+  std::uint32_t pool_size = 128;                                // s (§3.6)
+  std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket; // k
+  std::uint8_t wire_elem_bytes = 4;
+  Time retransmit_timeout = msec(1);
+  bool adaptive_rto = false; // §6: RTT-adaptive RTO (Jacobson/Karels)
+  net::NicConfig nic = switchml_worker_nic_10g();
+  bool timing_only = false;
+  bool mtu_emulation = false; // §5.5: switch forwards elements beyond 32 as-is
+  Time switch_latency = nsec(400);
+  std::uint64_t seed = 42;
+  bool ablate_shadow_copy = false; // see AggregationConfig
+  bool ablate_seen_bitmap = false;
+  int fp16_frac_bits = 12; // switch ingress/egress table position (§3.7)
+  // §3.2: run literal Algorithms 1/2 for lossless fabrics (Infiniband /
+  // lossless RoCE): no bitmaps, shadow copies or timers. Requires
+  // loss_prob == 0.
+  bool lossless = false;
+  // §6 tenancy: dataplane SRAM available for aggregation state.
+  std::size_t sram_budget_bytes = 4 * kMiB;
+};
+
+// --- topology shapes ---------------------------------------------------------
+
+// n workers on one switch (§1: the prototype's rack-scale deployment).
+struct RackSpec {
+  int n_workers = 8;
+};
+
+// Several independent jobs sharing one switch, each with its own admitted
+// aggregator pool (§6 multi-tenancy).
+struct MultiJobSpec {
+  int n_jobs = 2;
+  int workers_per_job = 4;
+};
+
+// Two-level root + per-rack leaves (§6 hierarchical composition).
+struct HierarchySpec {
+  int racks = 2;
+  int workers_per_rack = 8;
+};
+
+// Arbitrary-depth tree of switches; levels == 2 matches HierarchySpec's shape.
+struct TreeSpec {
+  int levels = 3;
+  int branching = 2;
+  int workers_per_rack = 4;
+};
+
+using TopologySpec = std::variant<RackSpec, MultiJobSpec, HierarchySpec, TreeSpec>;
+
+struct FabricConfig : FabricParams {
+  TopologySpec topology = RackSpec{};
+
+  FabricConfig() = default;
+  FabricConfig(const FabricParams& params, TopologySpec topo)
+      : FabricParams(params), topology(std::move(topo)) {}
+};
+
+// --- the fabric --------------------------------------------------------------
+
+// Owns the simulation, the wired nodes/links of one deployment, and the
+// metrics registry those components registered into.
+class Fabric {
+public:
+  explicit Fabric(FabricConfig config);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] const FabricConfig& config() const { return config_; }
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  [[nodiscard]] int n_workers() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] worker::Worker& worker(int i) { return *workers_.at(static_cast<std::size_t>(i)); }
+
+  // Switches in build order: [0] is the root (or the only switch); a
+  // two-level hierarchy's leaf r is switch_at(1 + r).
+  [[nodiscard]] std::size_t n_switches() const { return switches_.size(); }
+  [[nodiscard]] swprog::AggregationSwitch& switch_at(std::size_t i) { return *switches_.at(i); }
+  [[nodiscard]] swprog::AggregationSwitch& root() { return *switches_.front(); }
+
+  [[nodiscard]] std::size_t n_links() const { return links_.size(); }
+  [[nodiscard]] net::Link& link(std::size_t i) { return *links_.at(i); }
+
+  // Jobs sharing the fabric: 1 except for MultiJobSpec.
+  [[nodiscard]] int n_jobs() const { return n_jobs_; }
+  [[nodiscard]] int workers_per_job() const { return workers_per_job_; }
+
+  // Sets the Bernoulli loss probability on every link, both directions
+  // (the §5.5 loss experiments apply uniform loss "on every link").
+  void set_loss_prob(double p);
+
+  // Attaches a packet tracer to every link and returns it.
+  net::Tracer& enable_tracing();
+
+  // Runs one timing-only aggregation of `total_elems` elements on all
+  // workers and returns each worker's tensor aggregation time (TAT, §5.1).
+  std::vector<Time> reduce_timing(std::uint64_t total_elems);
+
+  // Timing-only reduction on EVERY job concurrently; per-job, per-worker TATs.
+  std::vector<std::vector<Time>> reduce_timing_all(std::uint64_t total_elems);
+
+  // Data-mode aggregation: updates[i] is worker i's quantized model update;
+  // returns each worker's aggregated result and TAT.
+  struct DataReduceResult {
+    std::vector<std::vector<std::int32_t>> outputs;
+    std::vector<Time> tat;
+  };
+  DataReduceResult reduce_i32(const std::vector<std::vector<std::int32_t>>& updates);
+
+  // Data mode for one job's workers (other jobs idle).
+  DataReduceResult reduce_i32_job(int job, const std::vector<std::vector<std::int32_t>>& updates);
+
+private:
+  friend class TopologyBuilder;
+
+  FabricConfig config_;
+  MetricsRegistry metrics_;
+  sim::Simulation sim_;
+  std::vector<std::unique_ptr<swprog::AggregationSwitch>> switches_; // [0] = root
+  std::vector<std::unique_ptr<worker::Worker>> workers_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+  std::unique_ptr<net::Tracer> tracer_;
+  int n_jobs_ = 1;
+  int workers_per_job_ = 0;
+};
+
+// Builds one Fabric's nodes and links from its TopologySpec. All wiring rules
+// — node ids and names, port layout, multicast groups, per-link RNG seeds,
+// switch roles — live here and nowhere else.
+class TopologyBuilder {
+public:
+  explicit TopologyBuilder(Fabric& fabric) : f_(fabric), params_(fabric.config_) {}
+  void build();
+
+private:
+  // Star fabrics (rack == one job; tenancy == several) around one switch.
+  void build_star(int n_jobs, int workers_per_job, std::uint32_t group_base);
+  // Switch trees (hierarchy == 2 levels; tree == arbitrary depth), built DFS.
+  swprog::AggregationSwitch* build_subtree(int level, swprog::AggregationSwitch* parent,
+                                           int index_at_parent, int& next_worker);
+
+  worker::WorkerConfig worker_config(int wid, int n_at_switch, net::NodeId switch_id) const;
+  [[nodiscard]] net::LinkConfig link_config(BitsPerSecond rate) const;
+  [[nodiscard]] BitsPerSecond uplink_rate() const {
+    return params_.uplink_rate != 0 ? params_.uplink_rate : params_.link_rate;
+  }
+
+  Fabric& f_;
+  const FabricParams& params_;
+  // Tree-shape state (set by build() before recursing).
+  int levels_ = 0;
+  int branching_ = 0;
+  int workers_per_rack_ = 0;
+  bool hierarchy_naming_ = false; // two-level scheme: root/leaf-<r> ids & seeds
+  net::NodeId next_switch_id_ = 30'000;
+};
+
+} // namespace switchml::core

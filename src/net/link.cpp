@@ -5,8 +5,24 @@
 #include <string>
 
 #include "common/metrics.hpp"
+#include "common/tracing.hpp"
 
 namespace switchml::net {
+
+namespace {
+
+const char* trace_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::Tx: return "enqueue";
+    case TraceEventKind::DropQueue: return "drop_queue";
+    case TraceEventKind::DropLoss: return "drop_loss";
+    case TraceEventKind::Corrupt: return "corrupt";
+    case TraceEventKind::Deliver: return "deliver";
+  }
+  return "?";
+}
+
+} // namespace
 
 Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, int port_a,
            Node& end_b, int port_b, std::uint64_t seed)
@@ -21,15 +37,25 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
   if (config.rate <= 0) throw std::invalid_argument("Link rate must be positive");
 
   if (auto* reg = MetricsRegistry::current()) {
-    auto add_direction = [reg](const std::string& prefix, const Counters& c) {
+    auto add_direction = [reg, this](const std::string& prefix, Direction& dir) {
+      const Counters& c = dir.counters;
       reg->add_counter(prefix + "tx_packets", [&c] { return c.tx_packets; });
       reg->add_counter(prefix + "tx_bytes", [&c] { return c.tx_bytes; });
       reg->add_counter(prefix + "delivered_packets", [&c] { return c.delivered_packets; });
       reg->add_counter(prefix + "dropped_queue", [&c] { return c.dropped_queue; });
       reg->add_counter(prefix + "dropped_loss", [&c] { return c.dropped_loss; });
+      // Occupancy is tracked lazily (drained on send), so recompute from the
+      // in-flight ledger instead of trusting backlog_bytes.
+      reg->add_gauge(prefix + "queue_bytes", [this, &dir] {
+        const Time now = sim_.now();
+        std::int64_t bytes = 0;
+        for (const auto& [finish, b] : dir.in_flight)
+          if (finish > now) bytes += b;
+        return bytes;
+      });
     };
-    add_direction("link." + end_a.name() + "->" + end_b.name() + ".", a_to_b_.counters);
-    add_direction("link." + end_b.name() + "->" + end_a.name() + ".", b_to_a_.counters);
+    add_direction("link." + end_a.name() + "->" + end_b.name() + ".", a_to_b_);
+    add_direction("link." + end_b.name() + "->" + end_a.name() + ".", b_to_a_);
   }
 }
 
@@ -56,6 +82,9 @@ void Link::send_from(const Node& sender, Packet&& p, Time earliest_start) {
 }
 
 void Link::trace(TraceEventKind kind, const Node& from, const Node& to, const Packet& p) {
+  // Fully qualified: `trace` unqualified resolves to this member function.
+  switchml::trace::emit(switchml::trace::kCatLink, sim_.now(), from.id(), trace_name(kind),
+                        {"to", to.id()}, {"slot", p.idx}, {"bytes", p.wire_bytes()});
   if (tracer_ == nullptr) return;
   TraceEvent e;
   e.at = sim_.now();

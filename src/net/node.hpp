@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/tracing.hpp"
 #include "net/packet.hpp"
 #include "sim/simulation.hpp"
 
@@ -14,7 +15,10 @@ namespace switchml::net {
 class Node {
 public:
   Node(sim::Simulation& simulation, NodeId id, std::string name)
-      : sim_(simulation), id_(id), name_(std::move(name)) {}
+      : sim_(simulation), id_(id), name_(std::move(name)) {
+    // Label this node's trace row (Perfetto shows names, not bare NodeIds).
+    if (auto* sink = trace::TraceSink::current()) sink->register_actor(id_, name_);
+  }
   virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/tracing.hpp"
 
 namespace switchml::net {
 
@@ -77,6 +78,7 @@ void ReliableSender::start(std::int64_t total_bytes, std::span<const float> data
   data_ = data;
   snd_una_ = 0;
   snd_nxt_ = 0;
+  snd_max_ = 0;
   // Persistent connection: cwnd starts at the cap and only shrinks on loss.
   cwnd_ = profile_.window_bytes;
   ssthresh_ = profile_.window_bytes;
@@ -100,6 +102,10 @@ void ReliableSender::send_segment(std::int64_t seq) {
   }
   ++counters_.segments_sent;
   ++host_.transport_counters().segments_sent;
+  trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(),
+              seq < snd_max_ ? "seg_retx" : "seg_send", {"stream", stream_},
+              {"seq", seq}, {"len", len});
+  snd_max_ = std::max(snd_max_, seq + len);
   host_.transmit(std::move(p));
 }
 
@@ -124,6 +130,8 @@ void ReliableSender::on_timeout() {
   if (done()) return;
   ++counters_.timeouts;
   ++host_.transport_counters().timeouts;
+  trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(), "rto",
+              {"stream", stream_}, {"snd_una", snd_una_}, {"snd_nxt", snd_nxt_});
   const auto window_segs =
       static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
   counters_.retransmissions += window_segs;
@@ -209,6 +217,8 @@ void ReliableReceiver::send_ack() {
   ack.dst = src_;
   ack.stream = stream_;
   ack.seq = static_cast<std::uint64_t>(rcv_nxt_);
+  trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(), "ack",
+              {"stream", stream_}, {"rcv_nxt", rcv_nxt_});
   host_.transmit(std::move(ack));
 }
 

@@ -122,6 +122,7 @@ private:
   std::span<const float> data_;
   std::int64_t snd_una_ = 0;
   std::int64_t snd_nxt_ = 0;
+  std::int64_t snd_max_ = 0; // high-water mark; bytes below it are retransmissions
   int dupacks_ = 0;
   bool in_fast_recovery_ = false;
   std::int64_t cwnd_ = 0;     // congestion window (bytes)

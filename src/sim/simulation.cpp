@@ -10,17 +10,32 @@ void Simulation::schedule_at(Time at, std::function<void()> fn) {
   queue_.push(Event{at, next_seq_++, std::move(fn), kNoTimer, 0});
 }
 
-TimerHandle Simulation::schedule_timer(Time delay, std::function<void()> fn) {
-  std::uint32_t slot;
+std::uint32_t Simulation::acquire_timer_slot() {
   if (!free_timer_slots_.empty()) {
-    slot = free_timer_slots_.back();
+    const std::uint32_t slot = free_timer_slots_.back();
     free_timer_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(timer_slots_.size());
-    timer_slots_.emplace_back();
+    return slot;
   }
+  const auto slot = static_cast<std::uint32_t>(timer_slots_.size());
+  timer_slots_.emplace_back();
+  return slot;
+}
+
+TimerHandle Simulation::schedule_timer(Time delay, std::function<void()> fn) {
+  const std::uint32_t slot = acquire_timer_slot();
   TimerSlot& ts = timer_slots_[slot];
   ts.armed = true;
+  ts.daemon = false;
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), slot, ts.gen});
+  return TimerHandle(this, slot, ts.gen);
+}
+
+TimerHandle Simulation::schedule_daemon_timer(Time delay, std::function<void()> fn) {
+  const std::uint32_t slot = acquire_timer_slot();
+  TimerSlot& ts = timer_slots_[slot];
+  ts.armed = true;
+  ts.daemon = true;
+  ++inert_; // daemons never count as live work
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), slot, ts.gen});
   return TimerHandle(this, slot, ts.gen);
 }
@@ -33,6 +48,8 @@ bool Simulation::dispatch_one() {
   if (top.timer_slot != kNoTimer) {
     TimerSlot& ts = timer_slots_[top.timer_slot];
     cancelled = !ts.armed;
+    // An inert event (cancelled, or a daemon) is leaving the queue.
+    inert_ -= static_cast<std::uint64_t>(cancelled | ts.daemon);
     // The slot's one queued event is popping now: invalidate outstanding
     // handles and recycle the slot.
     ++ts.gen;

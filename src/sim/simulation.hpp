@@ -63,6 +63,13 @@ public:
   // Schedules a cancellable event.
   TimerHandle schedule_timer(Time delay, std::function<void()> fn);
 
+  // Schedules a cancellable *daemon* event: one that does not count as live
+  // work (see live_pending_events). Periodic background activities (e.g. the
+  // telemetry sampler in common/timeline.hpp) use daemon timers so they can
+  // observe "has the simulation any real work left?" and stop re-arming,
+  // letting run() drain naturally instead of ticking forever.
+  TimerHandle schedule_daemon_timer(Time delay, std::function<void()> fn);
+
   // Runs until the queue is empty or stop() is called. Returns the number of
   // events executed.
   std::uint64_t run();
@@ -77,6 +84,11 @@ public:
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  // Queued events that will still do observable work: excludes cancelled
+  // timers (queued but inert) and daemon events. Zero means the simulation
+  // would go quiet if nothing else is scheduled.
+  [[nodiscard]] std::uint64_t live_pending_events() const { return queue_.size() - inert_; }
+
 private:
   friend class TimerHandle;
 
@@ -85,6 +97,7 @@ private:
   struct TimerSlot {
     std::uint32_t gen = 0; // bumped when the slot's event pops => handles stale
     bool armed = false;
+    bool daemon = false; // daemon timers count as inert from the start
   };
 
   struct Event {
@@ -102,6 +115,7 @@ private:
   };
 
   bool dispatch_one();
+  std::uint32_t acquire_timer_slot();
 
   [[nodiscard]] bool timer_live(std::uint32_t slot, std::uint32_t gen) const {
     return slot < timer_slots_.size() && timer_slots_[slot].gen == gen;
@@ -113,11 +127,21 @@ private:
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  // Queued events that will never do work: cancelled timers plus daemons.
+  // Tracked on the rare paths (cancel, daemon scheduling, inert pops) so the
+  // hot schedule/dispatch paths stay untouched.
+  std::uint64_t inert_ = 0;
   bool stopped_ = false;
 };
 
 inline void TimerHandle::cancel() {
-  if (sim_ && sim_->timer_live(slot_, gen_)) sim_->timer_slots_[slot_].armed = false;
+  if (!sim_ || !sim_->timer_live(slot_, gen_)) return;
+  auto& ts = sim_->timer_slots_[slot_];
+  // The queued event stays behind as a no-op and becomes inert — unless it
+  // already was (double cancel, or a daemon). Branchless: cancel sits on the
+  // retransmission fast path.
+  sim_->inert_ += static_cast<std::uint64_t>(ts.armed & !ts.daemon);
+  ts.armed = false;
 }
 
 inline bool TimerHandle::armed() const {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/metrics.hpp"
+#include "common/tracing.hpp"
 
 namespace switchml::swprog {
 
@@ -46,6 +47,8 @@ AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id
     reg->add_counter(p + "results_from_parent", [this] { return counters_.results_from_parent; });
     reg->add_counter(p + "unknown_job_drops", [this] { return counters_.unknown_job_drops; });
     reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
+    reg->add_gauge(p + "sram_used_bytes",
+                   [this] { return static_cast<std::int64_t>(register_bytes()); });
   }
 }
 
@@ -84,6 +87,7 @@ bool AggregationSwitch::admit_job(std::uint8_t job, const JobParams& params) {
 
   JobState state;
   state.params = params;
+  state.claim_ver.assign(params.pool_size, 255);
   const std::string prefix = "job" + std::to_string(job) + ".";
   if (!config_.lossless)
     state.seen = std::make_unique<dp::RegisterArray>(pipeline_, prefix + "seen", 0,
@@ -188,11 +192,14 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     // §3.4: the checksum discards corrupted updates; worker-side timers
     // retransmit them.
     ++counters_.checksum_drops;
+    trace::emit(trace::kCatSwitch, sim_.now(), id(), "checksum_drop", {"slot", p.idx},
+                {"wid", p.wid});
     return;
   }
   auto jit = jobs_.find(p.job);
   if (jit == jobs_.end()) {
     ++counters_.unknown_job_drops;
+    trace::emit(trace::kCatSwitch, sim_.now(), id(), "unknown_job_drop", {"job", p.job});
     return;
   }
   JobState& job = jit->second;
@@ -239,6 +246,21 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     const bool first = new_count == 1 || n == 1;
     const bool complete = new_count == 0;
 
+    if (first) {
+      // Telemetry-only generation tracking: a claim under the other pool
+      // version means this slot just turned over (Algorithm 4's ver flip).
+      const std::uint8_t prev_ver = job.claim_ver[idx];
+      job.claim_ver[idx] = static_cast<std::uint8_t>(ver);
+      if (prev_ver != 255 && prev_ver != static_cast<std::uint8_t>(ver))
+        trace::emit(trace::kCatSwitch, sim_.now(), id(), "version_flip", {"slot", idx},
+                    {"ver", ver});
+      trace::emit(trace::kCatSwitch, sim_.now(), id(), "claim", {"slot", idx},
+                  {"wid", wid_local}, {"ver", ver});
+    } else {
+      trace::emit(trace::kCatSwitch, sim_.now(), id(), "aggregate", {"slot", idx},
+                  {"wid", wid_local}, {"count", new_count});
+    }
+
     std::vector<std::int32_t> result_values;
     if (!config_.timing_only && !p.values.empty()) {
       // §3.7 16-bit path: ingress tables turn binary16 wire values into
@@ -271,17 +293,23 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
 
     if (complete) {
       ++counters_.completions;
+      trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
+                  {"off", static_cast<std::int64_t>(p.off)});
       emit_result(job, p, std::move(result_values));
     }
     // else: drop p (the update is absorbed into the slot)
   } else {
     ++counters_.duplicate_updates;
+    trace::emit(trace::kCatSwitch, sim_.now(), id(), "dup_update", {"slot", idx},
+                {"wid", wid_local}, {"ver", ver});
     if (config_.ablate_shadow_copy) return; // ablation: no stored result to serve
     // --- Algorithm 3, lines 19-23: duplicate. If the slot already completed
     // (count wrapped to 0), answer from the shadow copy; otherwise drop.
     const std::uint32_t count_now =
         static_cast<std::uint32_t>(dp::half_get(job.count->read(idx), ver));
     if (count_now == 0) {
+      trace::emit(trace::kCatSwitch, sim_.now(), id(), "shadow_reply", {"slot", idx},
+                  {"wid", wid_local}, {"ver", ver});
       std::vector<std::int32_t> result_values;
       if (!config_.timing_only && !p.values.empty()) {
         const bool fp16 = p.elem_bytes == 2;

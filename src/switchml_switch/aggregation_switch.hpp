@@ -139,6 +139,10 @@ private:
     std::unique_ptr<dp::RegisterArray> seen;  // [s] x (2 x 32-bit worker bitmaps)
     std::unique_ptr<dp::RegisterArray> count; // [s] x (2 x 32-bit mod-n counters)
     std::vector<std::unique_ptr<dp::RegisterArray>> pool; // per-element [s] x (2 x int32)
+    // Pool version of each slot's most recent claim (255 = never claimed);
+    // a claim under the other version marks the slot's generation turnover
+    // ("version_flip" trace event). Not switch protocol state — pure telemetry.
+    std::vector<std::uint8_t> claim_ver;
   };
 
   void handle_update(net::Packet&& p, int in_port);

@@ -7,6 +7,7 @@
 
 #include "common/log.hpp"
 #include "common/metrics.hpp"
+#include "common/tracing.hpp"
 
 namespace switchml::worker {
 
@@ -25,13 +26,38 @@ Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
   if (auto* reg = MetricsRegistry::current()) {
     const std::string p = this->name() + ".";
     reg->add_counter(p + "updates_sent", [this] { return counters_.updates_sent; });
+    reg->add_counter(p + "updates_wired", [this] {
+      drain_wire_ledger();
+      return counters_.updates_wired;
+    });
     reg->add_counter(p + "retransmissions", [this] { return counters_.retransmissions; });
     reg->add_counter(p + "timeouts", [this] { return counters_.timeouts; });
     reg->add_counter(p + "results_received", [this] { return counters_.results_received; });
     reg->add_counter(p + "duplicate_results", [this] { return counters_.duplicate_results; });
     reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
+    reg->add_gauge(p + "in_flight_slots",
+                   [this] { return static_cast<std::int64_t>(in_flight_slots()); });
+    reg->add_gauge(p + "rto_ns", [this] { return static_cast<std::int64_t>(rto_); });
     reg->add_summary(p + "rtt_us", &rtt_);
   }
+}
+
+std::uint32_t Worker::in_flight_slots() const {
+  std::uint32_t n = 0;
+  for (const Slot& s : slots_)
+    if (s.active) ++n;
+  return n;
+}
+
+void Worker::drain_wire_ledger() {
+  // Strictly-before so a sample at time T counts wire activity in [0, T),
+  // matching half-open bucketing when samples land on period boundaries.
+  const Time now = sim_.now();
+  auto kept = std::remove_if(wire_pending_.begin(), wire_pending_.end(),
+                             [now](Time t) { return t < now; });
+  counters_.updates_wired +=
+      static_cast<std::uint64_t>(std::distance(kept, wire_pending_.end()));
+  wire_pending_.erase(kept, wire_pending_.end());
 }
 
 void Worker::rtt_sample(Time sample) {
@@ -51,19 +77,6 @@ void Worker::rtt_sample(Time sample) {
   }
   const auto rto = static_cast<Time>(srtt_ + 4.0 * rttvar_);
   rto_ = std::clamp(rto, config_.rto_min, config_.rto_max);
-}
-
-void Worker::enable_tx_timeline(Time bucket_width) {
-  if (bucket_width <= 0) throw std::invalid_argument("Worker: bucket width must be positive");
-  tx_bucket_width_ = bucket_width;
-  tx_buckets_.clear();
-}
-
-void Worker::record_tx(Time when) {
-  if (tx_bucket_width_ <= 0) return;
-  const auto bucket = static_cast<std::size_t>(when / tx_bucket_width_);
-  if (tx_buckets_.size() <= bucket) tx_buckets_.resize(bucket + 1, 0);
-  ++tx_buckets_[bucket];
 }
 
 std::uint32_t Worker::chunk_elems(std::uint64_t off) const {
@@ -138,7 +151,11 @@ void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
 
   const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
   slot.sent_at = sim_.now(); // RTT is measured end-to-end at the app layer
-  record_tx(wire_time);
+  drain_wire_ledger();       // keeps the pending-wire ledger bounded
+  wire_pending_.push_back(wire_time);
+  trace::emit(trace::kCatWorker, sim_.now(), id(), retransmission ? "retransmit" : "send",
+              {"slot", slot_index}, {"off", static_cast<std::int64_t>(slot.off)},
+              {"ver", slot_ver_[slot_index]});
   uplink_->send_from(*this, std::move(p), wire_time);
   if (!config_.lossless) arm_timer(slot_index);
 }
@@ -154,6 +171,8 @@ void Worker::arm_timer(std::uint32_t slot_index) {
     Slot& s = slots_[slot_index];
     if (!s.active) return;
     ++counters_.timeouts;
+    trace::emit(trace::kCatWorker, sim_.now(), id(), "timeout", {"slot", slot_index},
+                {"off", static_cast<std::int64_t>(s.off)});
     if (config_.adaptive_rto) ++s.backoff;
     // Algorithm 4 timeout handler: resend the SAME (idx, ver, off) packet.
     send_update(slot_index, /*retransmission=*/true);
@@ -175,6 +194,7 @@ void Worker::handle_result(net::Packet&& p) {
   if (!p.verify()) {
     // Corrupted on the wire: discard; the slot timer repairs it (§3.4).
     ++counters_.checksum_drops;
+    trace::emit(trace::kCatWorker, sim_.now(), id(), "checksum_drop", {"slot", p.idx});
     return;
   }
   if (p.idx >= slots_.size()) {
@@ -187,10 +207,14 @@ void Worker::handle_result(net::Packet&& p) {
   // a unicast retransmission reply, or vice versa) and is ignored.
   if (!slot.active || slot.off != p.off) {
     ++counters_.duplicate_results;
+    trace::emit(trace::kCatWorker, sim_.now(), id(), "dup_result", {"slot", p.idx},
+                {"off", static_cast<std::int64_t>(p.off)});
     return;
   }
 
   ++counters_.results_received;
+  trace::emit(trace::kCatWorker, sim_.now(), id(), "recv", {"slot", p.idx},
+              {"off", static_cast<std::int64_t>(p.off)}, {"ver", p.ver});
   slot.timer.cancel();
   slot.active = false;
   slot.backoff = 0;

@@ -88,7 +88,8 @@ public:
   void receive(net::Packet&& p, int port) override;
 
   struct Counters {
-    std::uint64_t updates_sent = 0; // includes retransmissions
+    std::uint64_t updates_sent = 0;  // at send time; includes retransmissions
+    std::uint64_t updates_wired = 0; // at NIC wire time (tx_ready); lags updates_sent
     std::uint64_t retransmissions = 0;
     std::uint64_t timeouts = 0;
     std::uint64_t results_received = 0;
@@ -104,10 +105,9 @@ public:
   // Current retransmission timeout (adaptive or fixed).
   [[nodiscard]] Time current_rto() const { return rto_; }
 
-  // Fig 6 support: per-bucket count of update packets put on the wire.
-  void enable_tx_timeline(Time bucket_width);
-  [[nodiscard]] const std::vector<std::uint64_t>& tx_timeline() const { return tx_buckets_; }
-  [[nodiscard]] Time tx_timeline_bucket() const { return tx_bucket_width_; }
+  // Slots with an update packet outstanding (also exported as the
+  // "<name>.in_flight_slots" gauge for timeline sampling).
+  [[nodiscard]] std::uint32_t in_flight_slots() const;
 
   [[nodiscard]] const WorkerConfig& config() const { return config_; }
   [[nodiscard]] net::HostNic& nic() { return nic_; }
@@ -132,8 +132,8 @@ private:
   void send_update(std::uint32_t slot_index, bool retransmission);
   void handle_result(net::Packet&& p);
   void arm_timer(std::uint32_t slot_index);
-  void record_tx(Time when);
   void rtt_sample(Time sample);
+  void drain_wire_ledger();
   [[nodiscard]] std::uint32_t chunk_elems(std::uint64_t off) const;
   [[nodiscard]] int core_of(std::uint32_t idx) const {
     return static_cast<int>(idx % static_cast<std::uint32_t>(nic_.cores()));
@@ -162,14 +162,17 @@ private:
   std::function<void(std::uint64_t, std::uint32_t)> on_chunk_;
 
   Counters counters_;
+  // Wire times of packets handed to the NIC but not yet serialized onto the
+  // link; drained lazily (like Link's occupancy ledger) to advance
+  // updates_wired without per-packet simulator events. Bounded by the
+  // in-flight window.
+  std::vector<Time> wire_pending_;
   Summary rtt_;
   // Jacobson/Karels state (adaptive_rto).
   Time rto_ = 0;
   double srtt_ = 0.0;
   double rttvar_ = 0.0;
   bool have_rtt_ = false;
-  Time tx_bucket_width_ = 0;
-  std::vector<std::uint64_t> tx_buckets_;
 };
 
 } // namespace switchml::worker

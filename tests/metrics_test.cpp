@@ -57,6 +57,43 @@ TEST(MetricsRegistry, JsonIsSortedAndEscaped) {
   EXPECT_NE(json.find("\"summaries\""), std::string::npos);
 }
 
+TEST(MetricsRegistry, GaugesAreSampledAndExported) {
+  MetricsRegistry reg;
+  std::int64_t depth = -3;
+  reg.add_gauge("q.depth", [&] { return depth; });
+  reg.add_counter("q.items", [] { return std::uint64_t{1}; });
+  EXPECT_EQ(reg.size(), 2u); // gauges count toward size
+
+  auto snap = reg.snapshot();
+  EXPECT_TRUE(snap.has_gauge("q.depth"));
+  EXPECT_FALSE(snap.has_gauge("q.items")); // counters and gauges are distinct
+  EXPECT_EQ(snap.gauge("q.depth"), -3);
+  EXPECT_THROW((void)snap.gauge("missing"), std::out_of_range);
+  depth = 5; // snapshot is a copy
+  EXPECT_EQ(snap.gauge("q.depth"), -3);
+  EXPECT_EQ(reg.snapshot().gauge("q.depth"), 5);
+  EXPECT_NE(snap.json().find("\"gauges\""), std::string::npos);
+  EXPECT_NE(snap.json().find("\"q.depth\":-3"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DuplicateNamesAreRejectedAcrossKinds) {
+  MetricsRegistry reg;
+  Summary s;
+  reg.add_counter("x", [] { return std::uint64_t{0}; });
+  reg.add_gauge("g", [] { return std::int64_t{0}; });
+  reg.add_summary("s", &s);
+  // Same-kind duplicates.
+  EXPECT_THROW(reg.add_counter("x", [] { return std::uint64_t{0}; }),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add_gauge("g", [] { return std::int64_t{0}; }), std::invalid_argument);
+  EXPECT_THROW(reg.add_summary("s", &s), std::invalid_argument);
+  // Cross-kind duplicates: one flat namespace.
+  EXPECT_THROW(reg.add_gauge("x", [] { return std::int64_t{0}; }), std::invalid_argument);
+  EXPECT_THROW(reg.add_counter("s", [] { return std::uint64_t{0}; }),
+               std::invalid_argument);
+  EXPECT_EQ(reg.size(), 3u); // failed registrations left no residue
+}
+
 TEST(MetricsRegistry, SummaryStatsAreExported) {
   MetricsRegistry reg;
   Summary s;

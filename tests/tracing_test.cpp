@@ -1,0 +1,292 @@
+// TraceSink: recording, category masks, bounded-buffer drop accounting,
+// Chrome trace-event export well-formedness (validated with a strict mini
+// JSON parser), actor registration through Node construction, and the
+// zero-event / zero-allocation guarantee when tracing is disabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "common/tracing.hpp"
+#include "core/cluster.hpp"
+
+// --- allocation counting -----------------------------------------------------
+// Replacing global operator new lets the disabled-tracing test assert that
+// emit() performs no heap allocation. The counter covers the whole binary;
+// tests read deltas around the calls under test.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace switchml {
+namespace {
+
+// --- strict mini JSON parser -------------------------------------------------
+// Enough of RFC 8259 to reject anything Perfetto would choke on.
+class JsonChecker {
+public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_; // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_; // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (static_cast<unsigned char>(s_[pos_]) < 0x20) return false; // raw control char
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+              return false;
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) == std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_; // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    return pos_ > start;
+  }
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(Tracing, RecordsEventsWithArgsInsideScope) {
+  trace::TraceSink sink(128);
+  trace::TraceSink::Scope scope(&sink);
+  ASSERT_TRUE(trace::enabled(trace::kCatWorker));
+  trace::emit(trace::kCatWorker, usec(3), 7, "send", {"slot", 5}, {"off", 1024});
+  ASSERT_EQ(sink.events().size(), 1u);
+  const trace::Event& e = sink.events()[0];
+  EXPECT_EQ(e.ts, usec(3));
+  EXPECT_EQ(e.node, 7u);
+  EXPECT_EQ(e.cat, trace::kCatWorker);
+  EXPECT_STREQ(e.name, "send");
+  EXPECT_STREQ(e.a0.key, "slot");
+  EXPECT_EQ(e.a0.value, 5);
+  EXPECT_EQ(e.a2.key, nullptr);
+}
+
+TEST(Tracing, RuntimeMaskFiltersCategories) {
+  trace::TraceSink sink(128, trace::kCatWorker);
+  trace::TraceSink::Scope scope(&sink);
+  EXPECT_TRUE(trace::enabled(trace::kCatWorker));
+  EXPECT_FALSE(trace::enabled(trace::kCatSwitch));
+  trace::emit(trace::kCatSwitch, 0, 1, "claim");
+  trace::emit(trace::kCatWorker, 0, 1, "send");
+  ASSERT_EQ(sink.events().size(), 1u);
+  EXPECT_STREQ(sink.events()[0].name, "send");
+  // Filtered-by-mask events are not "drops": the buffer never saw them.
+  EXPECT_EQ(sink.total_drops(), 0u);
+}
+
+TEST(Tracing, FullBufferDropsAreCountedPerCategory) {
+  trace::TraceSink sink(4);
+  trace::TraceSink::Scope scope(&sink);
+  for (int i = 0; i < 10; ++i) trace::emit(trace::kCatLink, i, 1, "enqueue");
+  trace::emit(trace::kCatSwitch, 11, 2, "claim");
+  EXPECT_EQ(sink.events().size(), 4u);
+  EXPECT_EQ(sink.drops(trace::kCatLink), 6u);
+  EXPECT_EQ(sink.drops(trace::kCatSwitch), 1u);
+  EXPECT_EQ(sink.total_drops(), 7u);
+  // Truncation is visible in the export.
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"dropped_link\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_switch\":1"), std::string::npos);
+}
+
+TEST(Tracing, ScopesNestAndRestore) {
+  EXPECT_EQ(trace::TraceSink::current(), nullptr);
+  trace::TraceSink outer(16);
+  {
+    trace::TraceSink::Scope s1(&outer);
+    EXPECT_EQ(trace::TraceSink::current(), &outer);
+    trace::TraceSink inner(16);
+    {
+      trace::TraceSink::Scope s2(&inner);
+      EXPECT_EQ(trace::TraceSink::current(), &inner);
+    }
+    EXPECT_EQ(trace::TraceSink::current(), &outer);
+  }
+  EXPECT_EQ(trace::TraceSink::current(), nullptr);
+}
+
+TEST(Tracing, DisabledTracingEmitsNothingAndAllocatesNothing) {
+  // No sink installed: the emit path must not touch the heap.
+  ASSERT_EQ(trace::TraceSink::current(), nullptr);
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i)
+    trace::emit(trace::kCatWorker, i, 3, "send", {"slot", i}, {"off", i * 64}, {"ver", i & 1});
+  EXPECT_EQ(g_allocations.load(), before);
+
+  // Sink installed but category runtime-masked out: still zero allocations,
+  // zero events.
+  trace::TraceSink sink(64, trace::kCatSwitch);
+  trace::TraceSink::Scope scope(&sink);
+  const std::uint64_t before2 = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) trace::emit(trace::kCatWorker, i, 3, "send", {"slot", i});
+  EXPECT_EQ(g_allocations.load(), before2);
+  EXPECT_TRUE(sink.events().empty());
+
+  // Recording within capacity is also allocation-free: the buffer was
+  // reserved at construction and event payloads are PODs.
+  trace::TraceSink hot(2048, trace::kCatAll);
+  trace::TraceSink::Scope hot_scope(&hot);
+  trace::emit(trace::kCatWorker, 0, 3, "warm"); // fault in the thread_local
+  const std::uint64_t before3 = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) trace::emit(trace::kCatWorker, i, 3, "send", {"slot", i});
+  EXPECT_EQ(g_allocations.load(), before3);
+  EXPECT_EQ(hot.events().size(), 1001u);
+}
+
+TEST(Tracing, CompiledMaskConstantFoldsDisabledCategories) {
+  // The build compiles all categories in by default; `enabled` must still be
+  // false for a bit outside the compiled mask even with a permissive sink.
+  trace::TraceSink sink(16);
+  trace::TraceSink::Scope scope(&sink);
+  constexpr unsigned kUnknownCat = 1u << 30; // never compiled in
+  static_assert((trace::kCompiledMask & kUnknownCat) == 0);
+  EXPECT_FALSE(trace::enabled(kUnknownCat));
+  trace::emit(kUnknownCat, 0, 1, "ghost");
+  EXPECT_TRUE(sink.events().empty());
+}
+
+TEST(Tracing, LossyClusterRunExportsValidChromeJson) {
+  // A fig6-style lossy run: every instrumentation point fires (sends,
+  // retransmits, timeouts, claims, dups, shadow replies, link drops).
+  trace::TraceSink sink(1u << 16);
+  trace::TraceSink::Scope scope(&sink);
+  core::ClusterConfig cfg = core::ClusterConfig::for_rate(gbps(10), 4);
+  cfg.timing_only = true;
+  cfg.loss_prob = 0.01;
+  cfg.adaptive_rto = true;
+  core::Cluster cluster(cfg);
+  cluster.reduce_timing(128 * 1024);
+
+  ASSERT_GT(sink.events().size(), 1000u);
+  const std::string json = sink.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json.substr(0, 400);
+  // Node construction registered actor names for the Perfetto rows.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker-0\""), std::string::npos);
+  // All three active categories appear.
+  EXPECT_NE(json.find("\"cat\":\"worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"switch\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"link\""), std::string::npos);
+}
+
+TEST(Tracing, ChromeJsonEscapesHostileActorNames) {
+  trace::TraceSink sink(16);
+  sink.register_actor(1, "evil\"name\\with\ncontrol\tchars");
+  sink.record(trace::kCatLink, 0, 1, "enqueue");
+  const std::string json = sink.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+} // namespace
+} // namespace switchml

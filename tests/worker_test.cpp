@@ -1,7 +1,8 @@
 // Worker protocol unit tests: error handling, RTT sampling (Karn's rule),
-// TX timeline buckets, destination resolver, wire-format effects.
+// timeline sampling, destination resolver, wire-format effects.
 #include <gtest/gtest.h>
 
+#include "common/timeline.hpp"
 #include "core/cluster.hpp"
 
 namespace switchml::core {
@@ -68,22 +69,29 @@ TEST(Worker, KarnsRuleExcludesRetransmittedPackets) {
   EXPECT_EQ(cluster.worker(0).rtt().count(), 0u);
 }
 
-TEST(Worker, TxTimelineCountsAllSentPackets) {
+TEST(Worker, TimelineDeltasCountAllSentPackets) {
   ClusterConfig c = cfg4();
   c.timing_only = true;
   Cluster cluster(c);
-  cluster.worker(0).enable_tx_timeline(usec(100));
+  TimelineRecorder::Config tc;
+  tc.period = usec(100);
+  TimelineRecorder timeline(cluster.simulation(), cluster.metrics(), tc);
+  timeline.start();
   cluster.reduce_timing(32 * 256);
-  const auto& buckets = cluster.worker(0).tx_timeline();
+  timeline.finish();
+  const auto deltas = timeline.deltas("worker-0.updates_sent");
   std::uint64_t total = 0;
-  for (auto b : buckets) total += b;
+  for (auto d : deltas) total += d;
   EXPECT_EQ(total, cluster.worker(0).counters().updates_sent);
-  EXPECT_EQ(cluster.worker(0).tx_timeline_bucket(), usec(100));
+  EXPECT_GT(deltas.size(), 1u); // the run spans several sampling periods
 }
 
-TEST(Worker, InvalidTimelineBucketThrows) {
+TEST(Worker, InvalidTimelinePeriodThrows) {
   Cluster cluster(cfg4());
-  EXPECT_THROW(cluster.worker(0).enable_tx_timeline(0), std::invalid_argument);
+  TimelineRecorder::Config tc;
+  tc.period = 0;
+  EXPECT_THROW(TimelineRecorder(cluster.simulation(), cluster.metrics(), tc),
+               std::invalid_argument);
 }
 
 TEST(Worker, Fp16WireHalvesAggregationTime) {
