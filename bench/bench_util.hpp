@@ -5,10 +5,12 @@
 
 #include <cctype>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -24,6 +26,7 @@
 #include "core/allreduce.hpp"
 #include "core/cluster.hpp"
 #include "core/profiles.hpp"
+#include "framework/training_sim.hpp"
 
 namespace switchml::bench {
 
@@ -67,12 +70,16 @@ inline std::string sanitize_label(std::string label) {
   return label;
 }
 
-inline void write_timeline(const TimelineRequest& req, const TimelineRecorder& timeline,
-                           const std::string& label) {
+inline std::string timeline_path(const TimelineRequest& req, const std::string& label) {
   const bool csv = req.prefix.size() > 4 && req.prefix.ends_with(".csv");
   const std::string base = csv ? req.prefix.substr(0, req.prefix.size() - 4) : req.prefix;
-  const std::string path = base + (label.empty() ? "" : "_" + sanitize_label(label)) +
-                           (csv ? ".csv" : ".jsonl");
+  return base + (label.empty() ? "" : "_" + sanitize_label(label)) + (csv ? ".csv" : ".jsonl");
+}
+
+inline void write_timeline(const TimelineRequest& req, const TimelineRecorder& timeline,
+                           const std::string& label) {
+  const std::string path = timeline_path(req, label);
+  const bool csv = path.ends_with(".csv");
   timeline.write(path, csv ? TimelineRecorder::Format::kCsv : TimelineRecorder::Format::kJsonl);
 }
 
@@ -84,7 +91,7 @@ class MetricsSidecar {
 public:
   explicit MetricsSidecar(std::string path) : path_(std::move(path)) {}
 
-  void record(const std::string& label, MetricsRegistry& registry) {
+  void record(const std::string& label, const MetricsRegistry& registry) {
     runs_.emplace_back(label, registry.snapshot().json());
   }
 
@@ -105,6 +112,84 @@ private:
   std::vector<std::pair<std::string, std::string>> runs_;
 };
 
+// --- machine-readable bench reports ------------------------------------------
+
+// Schema-versioned JSON result emitted by every measured bench next to its
+// stdout table, consumed by scripts/bench_baseline.sh / bench_compare.py.
+// Each scalar carries its own relative tolerance so the compare tool is
+// strict about sim-deterministic numbers (TATs, ATE/s, simulated-clock
+// percentiles — bit-identical across runs) and lenient about host-measured
+// ones (calibrated per-byte conversion costs). Wall-clock facts belong in
+// info(), which is recorded for humans but never compared.
+class BenchReport {
+public:
+  static constexpr int kSchemaVersion = 1;
+  static constexpr double kSimTol = 1e-9;   // deterministic simulated values
+  static constexpr double kLooseTol = 0.25; // host-measured calibrations
+
+  // Report path: --report-out PATH when given, else "<bench>_report.json".
+  BenchReport(std::string bench, int argc, char** argv)
+      : bench_(std::move(bench)),
+        mode_(has_flag(argc, argv, "--fast") ? "fast" : "full"),
+        path_(arg_value(argc, argv, "--report-out")) {
+    if (path_.empty()) path_ = bench_ + "_report.json";
+  }
+
+  void add(const std::string& name, double value, double rel_tol = kSimTol) {
+    metrics_.emplace_back(name, Metric{value, rel_tol});
+  }
+  void info(const std::string& key, const std::string& value) {
+    info_.emplace_back(key, value);
+  }
+
+  [[nodiscard]] std::string json() const {
+    std::string out = "{\n  \"schema_version\": " + std::to_string(kSchemaVersion) +
+                      ",\n  \"bench\": " + json_quote(bench_) +
+                      ",\n  \"mode\": " + json_quote(mode_) + ",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "{\"value\": %.17g, \"rel_tol\": %.3g}",
+                    metrics_[i].second.value, metrics_[i].second.rel_tol);
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    " + json_quote(metrics_[i].first) + ": " + buf;
+    }
+    out += "\n  },\n  \"info\": {";
+    for (std::size_t i = 0; i < info_.size(); ++i) {
+      out += (i == 0 ? "\n" : ",\n");
+      out += "    " + json_quote(info_[i].first) + ": " + json_quote(info_[i].second);
+    }
+    out += "\n  }\n}\n";
+    return out;
+  }
+
+  // Returns the path written, empty on I/O failure.
+  std::string write() const {
+    std::ofstream out(path_);
+    if (!out) return {};
+    out << json();
+    return out ? path_ : std::string{};
+  }
+
+private:
+  struct Metric {
+    double value;
+    double rel_tol;
+  };
+  std::string bench_, mode_, path_;
+  std::vector<std::pair<std::string, Metric>> metrics_;
+  std::vector<std::pair<std::string, std::string>> info_;
+};
+
+// Merges every registered histogram whose name ends in `suffix` (e.g.
+// ".rtt_ns" across all workers or transport hosts) into one distribution.
+// Empty result when nothing matches or histograms are compiled out.
+inline Histogram merged_histogram(const MetricsRegistry& registry, std::string_view suffix) {
+  Histogram merged;
+  for (const auto& [name, h] : registry.histograms())
+    if (std::string_view(name).ends_with(suffix)) merged.merge(*h);
+  return merged;
+}
+
 // Tensor sizes are scaled down from the paper's 100 MB default: ATE/s is
 // size-independent (§5.3, verified by tests), and smaller tensors keep the
 // discrete-event runs fast.
@@ -124,7 +209,34 @@ struct RateResult {
   double ate_per_s = 0.0;  // aggregated tensor elements per second
   double tat_ms = 0.0;     // median TAT per aggregation
   double rtt_us = 0.0;     // median per-packet RTT (SwitchML only)
+  // Tail/violin statistics derived from the registry's latency histograms
+  // (0 when the protocol records none, or histograms are compiled out):
+  double rtt_p99_us = 0.0;   // p99 per-packet RTT, merged across hosts
+  double dwell_p99_us = 0.0; // p99 switch slot dwell (claim -> complete)
+  double tat_p50_ms = 0.0;   // per-worker tensor-completion violin (fig 4)
+  double tat_min_ms = 0.0;
+  double tat_max_ms = 0.0;
 };
+
+// Fills RateResult's histogram-derived fields from the cluster registry.
+// Both the SwitchML workers ("worker-N.rtt_ns") and the reliable-transport
+// hosts ("hN.transport.rtt_ns") match the ".rtt_ns" suffix. Note the RTT
+// samples are Karn-filtered (retransmitted slots excluded), so loss barely
+// moves them; RTO stalls show up in the switch's slot-dwell histogram
+// (".slot_dwell_ns") instead. Tensor completion spans only exist on SwitchML
+// workers (".completion_ns").
+inline void fill_tail_stats(RateResult& out, const MetricsRegistry& registry) {
+  const Histogram rtts = merged_histogram(registry, ".rtt_ns");
+  if (!rtts.empty()) out.rtt_p99_us = static_cast<double>(rtts.percentile(99)) / 1e3;
+  const Histogram dwell = merged_histogram(registry, ".slot_dwell_ns");
+  if (!dwell.empty()) out.dwell_p99_us = static_cast<double>(dwell.percentile(99)) / 1e3;
+  const Histogram comps = merged_histogram(registry, ".completion_ns");
+  if (!comps.empty()) {
+    out.tat_p50_ms = static_cast<double>(comps.percentile(50)) / 1e6;
+    out.tat_min_ms = static_cast<double>(comps.min()) / 1e6;
+    out.tat_max_ms = static_cast<double>(comps.max()) / 1e6;
+  }
+}
 
 // Arms a TimelineRecorder over a measured run when `req` asks for one; the
 // measure_* helpers call start()/finish_and_write() around their rep loops.
@@ -188,6 +300,7 @@ inline RateResult measure_switchml(BitsPerSecond rate, int workers, const BenchS
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
   const auto& rtt = cluster.worker(0).rtt();
   if (!rtt.empty()) out.rtt_us = rtt.median();
+  fill_tail_stats(out, cluster.metrics());
   if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
 }
@@ -241,6 +354,7 @@ inline RateResult measure_streaming_ps(BaselineKind kind, BitsPerSecond rate, in
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  fill_tail_stats(out, cluster.metrics());
   if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
 }
@@ -336,8 +450,27 @@ inline RateResult measure_baseline(BaselineKind kind, BitsPerSecond rate, int wo
   RateResult out;
   out.tat_ms = tat_ms.median();
   out.ate_per_s = static_cast<double>(scale.tensor_elems) / (out.tat_ms / 1e3);
+  fill_tail_stats(out, cluster.metrics());
   if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
   return out;
+}
+
+// --- framework training sims -------------------------------------------------
+
+// Routes a TrainingSimConfig's observability hooks into the shared bench
+// plumbing: one sidecar snapshot per labeled run, plus a timeline sidecar
+// when --timeline-out asked for one (fig3/table1 run the framework sims
+// instead of the measure_* helpers).
+inline void attach_sim_telemetry(framework::TrainingSimConfig& cfg, std::string label,
+                                 MetricsSidecar* sidecar, const TimelineRequest* timeline) {
+  if (timeline != nullptr && timeline->enabled()) {
+    cfg.timeline_path = timeline_path(*timeline, label);
+    cfg.timeline_period = timeline->period;
+  }
+  if (sidecar != nullptr)
+    cfg.on_metrics = [sidecar, label = std::move(label)](const MetricsRegistry& m) {
+      sidecar->record(label, m);
+    };
 }
 
 inline std::string mega(double v) { return Table::num(v / 1e6, 1); }

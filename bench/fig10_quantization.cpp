@@ -42,6 +42,13 @@ int main(int argc, char** argv) {
   const double f_limit = quant::max_safe_scaling_factor(8, base.max_abs_gradient);
   std::printf("Theorem 2 no-overflow limit: f <= %.3e\n\n", f_limit);
 
+  // No fabric here (pure ML pipeline) — the report captures the seeded
+  // training outcomes, which are deterministic.
+  BenchReport report("fig10_quantization", argc, argv);
+  report.add("baseline.accuracy_pct", base.final_test_accuracy * 100);
+  report.add("baseline.max_abs_gradient", base.max_abs_gradient);
+  report.add("theorem2_f_limit", f_limit);
+
   Table table({"scaling factor f", "top-1 accuracy", "vs Theorem-2 limit"});
   for (double rel = 1e-10; rel <= 2e3; rel *= 10.0) {
     const double f = f_limit * rel;
@@ -52,9 +59,12 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof buf, "%.3e", f);
     std::snprintf(rbuf, sizeof rbuf, "%.0ex", rel);
     table.add_row({buf, Table::num(r.final_test_accuracy * 100, 1) + "%", rbuf});
+    report.add(std::string("rel-") + rbuf + ".accuracy_pct", r.final_test_accuracy * 100);
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("(expect a plateau at the baseline accuracy below the limit, collapse above it,\n"
               " and degradation for very small f where updates quantize to zero)\n");
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
   return 0;
 }

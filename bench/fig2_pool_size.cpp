@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const std::uint64_t tensor_bytes = scale.tensor_elems * 4;
   MetricsSidecar sidecar("fig2_pool_size_metrics.json");
   const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
+  BenchReport report("fig2_pool_size", argc, argv);
 
   for (BitsPerSecond rate : {gbps(10), gbps(100)}) {
     std::printf("=== Figure 2: pool size sweep, %lld Gbps, tensor %.1f MB, 8 workers ===\n",
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
                                 &timeline_req);
       table.add_row({std::to_string(s), Table::num(r.tat_ms), Table::num(r.rtt_us),
                      Table::num(line_ms)});
+      report.add(label + ".tat_ms", r.tat_ms);
+      report.add(label + ".rtt_us", r.rtt_us);
+      report.add(label + ".rtt_p99_us", r.rtt_p99_us);
     }
     std::printf("%s", table.to_string().c_str());
     std::printf("(paper's deployed choice: s = %s; past the BDP, extra slots only add\n"
@@ -45,5 +49,7 @@ int main(int argc, char** argv) {
   }
   const std::string written = sidecar.write();
   if (!written.empty()) std::printf("telemetry sidecar: %s\n", written.c_str());
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
   return 0;
 }

@@ -21,6 +21,10 @@ int main(int argc, char** argv) {
   // same shape at 1/10 scale by default to keep the runs short.
   const double size_scale = fast ? 0.02 : 0.1;
 
+  MetricsSidecar sidecar("fig7_mtu_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
+  BenchReport report("fig7_mtu", argc, argv);
+
   std::printf("=== Figure 7: TAT vs tensor size (10 Gbps, 8 workers) ===\n");
   std::printf("(tensor sizes scaled by %.2fx; TAT scales linearly in size)\n\n", size_scale);
   Table table({"tensor", "SwitchML [ms]", "SwitchML(MTU) [ms]", "Dedicated PS(MTU) [ms]",
@@ -30,9 +34,16 @@ int main(int argc, char** argv) {
     const auto elems =
         static_cast<std::uint64_t>(static_cast<double>(mb) * 1e6 / 4.0 * size_scale);
     BenchScale scale{elems, 1};
-    const auto sml = measure_switchml(rate, workers, scale);
-    const auto sml_mtu = measure_switchml(rate, workers, scale, 0, /*mtu=*/true);
-    const auto ps_mtu = measure_baseline(BaselineKind::DedicatedPsMtu, rate, workers, scale);
+    const std::string tag = std::to_string(mb) + "mb.";
+    const auto sml = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, false,
+                                      &sidecar, tag + "switchml", &timeline_req);
+    const auto sml_mtu = measure_switchml(rate, workers, scale, 0, /*mtu=*/true, 0.0, 4, 0.0,
+                                          false, &sidecar, tag + "switchml-mtu", &timeline_req);
+    const auto ps_mtu = measure_baseline(BaselineKind::DedicatedPsMtu, rate, workers, scale,
+                                         0.0, &sidecar, tag + "dedicated-ps-mtu", &timeline_req);
+    report.add(tag + "switchml.tat_ms", sml.tat_ms);
+    report.add(tag + "switchml-mtu.tat_ms", sml_mtu.tat_ms);
+    report.add(tag + "dedicated-ps-mtu.tat_ms", ps_mtu.tat_ms);
     const double line_ms =
         collectives::tat_seconds_at(
             collectives::switchml_ate_rate(rate, net::kDefaultElemsPerPacket), elems) * 1e3;
@@ -49,5 +60,9 @@ int main(int argc, char** argv) {
   const double overhead_mtu = 1.0 - 1464.0 / 1516.0;
   std::printf("(header overhead: %.1f%% at 180 B vs %.1f%% at MTU)\n", overhead_small * 100,
               overhead_mtu * 100);
+  const std::string written = sidecar.write();
+  if (!written.empty()) std::printf("telemetry sidecar: %s\n", written.c_str());
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
   return 0;
 }

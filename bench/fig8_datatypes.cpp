@@ -47,18 +47,33 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 8: TAT by data type (10 Gbps, 8 workers, %.1f MB tensor) ===\n",
               static_cast<double>(scale.tensor_elems) * 4 / 1e6);
 
+  MetricsSidecar sidecar("fig8_datatypes_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
+  BenchReport report("fig8_datatypes", argc, argv);
   const double conv = conversion_ns_per_byte();
 
   // int32 native: identical wire format, no conversion work.
-  const auto int32_r = measure_switchml(rate, workers, scale);
+  const auto int32_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, false,
+                                        &sidecar, "int32.switchml", &timeline_req);
   // float32: same wire format + the measured conversion cost per byte on the
   // worker cores.
-  const auto f32_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, conv);
+  const auto f32_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, conv, false,
+                                      &sidecar, "float32.switchml", &timeline_req);
   // float16: half the payload bytes on the wire (conversion cost included;
   // halves are produced by the same vectorized loop).
-  const auto f16_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 2, conv);
+  const auto f16_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 2, conv, false,
+                                      &sidecar, "float16.switchml", &timeline_req);
 
-  const auto gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale);
+  const auto gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale, 0.0,
+                                     &sidecar, "float32.gloo", &timeline_req);
+
+  // int32/gloo TATs are sim-deterministic; the float paths fold in the
+  // host-measured conversion cost, so they get the loose tolerance.
+  report.add("int32.switchml.tat_ms", int32_r.tat_ms);
+  report.add("float32.switchml.tat_ms", f32_r.tat_ms, BenchReport::kLooseTol);
+  report.add("float16.switchml.tat_ms", f16_r.tat_ms, BenchReport::kLooseTol);
+  report.add("float32.gloo.tat_ms", gloo.tat_ms);
+  report.add("conversion_ns_per_byte", conv, BenchReport::kLooseTol);
 
   const double line_ms =
       collectives::tat_seconds_at(
@@ -80,5 +95,9 @@ int main(int argc, char** argv) {
   std::printf("(measured conversion cost: %.3f ns/byte/direction; float32 overhead vs int32: "
               "%.1f%%)\n",
               conv, (f32_r.tat_ms / int32_r.tat_ms - 1.0) * 100);
+  const std::string written = sidecar.write();
+  if (!written.empty()) std::printf("telemetry sidecar: %s\n", written.c_str());
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
   return 0;
 }

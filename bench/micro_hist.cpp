@@ -1,0 +1,84 @@
+// Microbenchmark (google-benchmark): cost of the Histogram hot path.
+// record() runs on every packet RTT sample, link transmit, and slot
+// completion, so it must stay a handful of scalar ops — no allocation, no
+// branch on percentile state. BM_HistogramRecord measures the steady-state
+// record() throughput over a realistic spread of magnitudes (1 ns .. ~1 s);
+// BM_HistogramRecordConstant isolates the best case (one hot bucket);
+// BM_HistogramQuantiles prices the snapshot-time bucket walk, which is
+// deliberately off the hot path.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.hpp"
+
+namespace {
+
+using namespace switchml;
+
+// Pre-generated pseudo-random values spanning the bucket range, so the
+// benchmark measures record() and not the generator.
+std::vector<std::int64_t> make_values(std::size_t n) {
+  std::vector<std::int64_t> vs(n);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto& v : vs) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    v = static_cast<std::int64_t>(x % 1'000'000'000ull); // 0 .. 1 s in ns
+  }
+  return vs;
+}
+
+void BM_HistogramRecord(benchmark::State& state) {
+  const auto values = make_values(1 << 16);
+  Histogram h;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    h.record(values[i]);
+    if (++i == values.size()) i = 0;
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramRecordConstant(benchmark::State& state) {
+  Histogram h;
+  for (auto _ : state) {
+    h.record(1234);
+  }
+  benchmark::DoNotOptimize(h.count());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecordConstant);
+
+void BM_HistogramQuantiles(benchmark::State& state) {
+  const auto values = make_values(1 << 16);
+  Histogram h;
+  for (std::int64_t v : values) h.record(v);
+  for (auto _ : state) {
+    auto q = h.quantiles();
+    benchmark::DoNotOptimize(q.p99);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramQuantiles);
+
+void BM_HistogramMerge(benchmark::State& state) {
+  const auto values = make_values(1 << 16);
+  Histogram src;
+  for (std::int64_t v : values) src.record(v);
+  Histogram dst;
+  for (auto _ : state) {
+    dst.merge(src);
+    benchmark::DoNotOptimize(dst.count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HistogramMerge);
+
+} // namespace
+
+BENCHMARK_MAIN();

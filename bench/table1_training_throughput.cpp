@@ -35,9 +35,18 @@ int main(int argc, char** argv) {
   sim_cfg.iterations = 3;
   sim_cfg.size_scale = fast ? 1.0 / 32 : 1.0 / 16;
 
-  const double sml_rate = measure_switchml(rate, workers, scale).ate_per_s;
-  const double nccl_rate =
-      measure_baseline(BaselineKind::NcclRing, rate, workers, scale).ate_per_s;
+  MetricsSidecar sidecar("table1_training_throughput_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
+  BenchReport report("table1_training_throughput", argc, argv);
+
+  const double sml_rate = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, false,
+                                           &sidecar, "microbench.switchml")
+                              .ate_per_s;
+  const double nccl_rate = measure_baseline(BaselineKind::NcclRing, rate, workers, scale, 0.0,
+                                            &sidecar, "microbench.nccl")
+                               .ate_per_s;
+  report.add("microbench.switchml.ate_per_s", sml_rate);
+  report.add("microbench.nccl.ate_per_s", nccl_rate);
 
   std::printf("=== Table 1: training throughput (images/s), 8 workers @ 10 Gbps, batch %d ===\n",
               batch);
@@ -45,9 +54,13 @@ int main(int argc, char** argv) {
   Table model_table({"model", "NCCL (closed-form)", "SwitchML (closed-form)"});
   for (const auto& row : perf::table1_rows()) {
     const auto& spec = perf::model(row.name);
+    attach_sim_telemetry(sim_cfg, std::string(row.name) + ".nccl", &sidecar, &timeline_req);
     const auto nccl_sim =
         framework::simulate_ring_training(spec, sim_cfg, core::nccl_tcp(rate));
+    attach_sim_telemetry(sim_cfg, std::string(row.name) + ".switchml", &sidecar, &timeline_req);
     const auto sml_sim = framework::simulate_switchml_training(spec, sim_cfg);
+    report.add(std::string(row.name) + ".nccl.images_per_s", nccl_sim.images_per_s);
+    report.add(std::string(row.name) + ".switchml.images_per_s", sml_sim.images_per_s);
     auto pct = [&](double v) {
       return Table::num(v, 0) + " (" + Table::num(v / row.ideal * 100, 1) + "%)";
     };
@@ -65,5 +78,9 @@ int main(int argc, char** argv) {
               "%.0fM, NCCL: %.0fM)\n\n",
               sml_rate / 1e6, nccl_rate / 1e6);
   std::printf("closed-form overlap model for comparison:\n%s", model_table.to_string().c_str());
+  const std::string written = sidecar.write();
+  if (!written.empty()) std::printf("telemetry sidecar: %s\n", written.c_str());
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
   return 0;
 }

@@ -14,14 +14,18 @@ cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure
 
-echo "== sanitizers: ASan+UBSan on metrics/timeline/tracing/sim =="
+echo "== sanitizers: ASan+UBSan on the observability-critical tests =="
+# The target list is owned by tests/CMakeLists.txt (SWITCHML_SANITIZER_TESTS),
+# which exports it to <build>/sanitizer_tests.txt — new tests added there get
+# sanitizer coverage without touching this script.
 san_dir="$build_dir-asan"
 cmake -B "$san_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSWITCHML_SANITIZE="address;undefined"
-cmake --build "$san_dir" -j "$jobs" \
-  --target metrics_test timeline_test tracing_test sim_test
-for t in metrics_test timeline_test tracing_test sim_test; do
+cmake --build "$san_dir" -j "$jobs" --target sanitizer_tests
+while IFS= read -r t; do
+  [ -n "$t" ] || continue
+  echo "-- ASan: $t"
   "$san_dir/tests/$t" --gtest_brief=1
-done
+done < "$san_dir/sanitizer_tests.txt"
 
 echo "verify: OK"

@@ -1,0 +1,128 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace switchml {
+
+Histogram::Histogram(Config config) : config_(config) {
+  if (config_.precision_bits < 1 || config_.precision_bits > 14)
+    throw std::invalid_argument("Histogram: precision_bits must be in [1, 14]");
+  if (config_.max_value < 1)
+    throw std::invalid_argument("Histogram: max_value must be positive");
+  sub_bucket_count_ = 1ULL << config_.precision_bits;
+  sub_bucket_half_ = sub_bucket_count_ >> 1;
+  // Bucket 0 covers [0, 2^p) at unit resolution; each further bucket b
+  // covers [2^(p+b-1), 2^(p+b)) at 2^b resolution. Count octave buckets
+  // until max_value is representable.
+  std::size_t buckets = 1;
+  std::uint64_t covered = sub_bucket_count_ - 1;
+  while (covered < static_cast<std::uint64_t>(config_.max_value)) {
+    covered = covered * 2 + 1;
+    ++buckets;
+  }
+  // (buckets + 1) * sub_half slots cover the value range (bucket 0 uses a
+  // full 2^p, every later bucket the upper half); +1 for the overflow slot.
+  counts_.assign((buckets + 1) * static_cast<std::size_t>(sub_bucket_half_) + 1, 0);
+  min_ = std::numeric_limits<std::int64_t>::max();
+}
+
+std::int64_t Histogram::value_at_index(std::size_t idx) const {
+  if (idx + 1 >= counts_.size()) return config_.max_value;
+  const int p = config_.precision_bits;
+  int bucket = static_cast<int>(idx >> (p - 1)) - 1;
+  std::uint64_t sub = (idx & (sub_bucket_half_ - 1)) + sub_bucket_half_;
+  if (bucket < 0) { // indices below 2^p live in bucket 0 at unit resolution
+    bucket = 0;
+    sub = idx;
+  }
+  const std::uint64_t lowest = sub << bucket;
+  const std::uint64_t highest = lowest + ((1ULL << bucket) - 1);
+  const auto capped = static_cast<std::int64_t>(highest);
+  return capped > config_.max_value ? config_.max_value : capped;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i + 1 < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    // A bucket's upper bound can exceed the largest sample actually recorded
+    // into it; clamping to the exact max keeps percentile(p) <= max().
+    if (cumulative >= rank) return std::min(value_at_index(i), max());
+  }
+  return max(); // rank falls in the overflow bucket; max() is exact
+}
+
+Histogram::Quantiles Histogram::quantiles_of(const std::vector<std::uint64_t>& counts) const {
+  if (counts.size() != counts_.size())
+    throw std::invalid_argument("Histogram::quantiles_of: bucket count mismatch");
+  Quantiles q;
+  for (std::uint64_t c : counts) q.count += c;
+  if (q.count == 0) return q;
+  const double total = static_cast<double>(q.count);
+  struct Want {
+    std::uint64_t rank;
+    std::int64_t* out;
+  };
+  auto rank_of = [&](double pct) {
+    auto r = static_cast<std::uint64_t>(std::ceil(pct / 100.0 * total));
+    return r < 1 ? std::uint64_t{1} : (r > q.count ? q.count : r);
+  };
+  Want wants[] = {{rank_of(50.0), &q.p50},
+                  {rank_of(90.0), &q.p90},
+                  {rank_of(99.0), &q.p99},
+                  {rank_of(99.9), &q.p999}};
+  std::size_t next = 0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size() && next < 4; ++i) {
+    cumulative += counts[i];
+    while (next < 4 && cumulative >= wants[next].rank) {
+      *wants[next].out = value_at_index(i);
+      ++next;
+    }
+  }
+  return q;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.config_.precision_bits != config_.precision_bits ||
+      other.config_.max_value != config_.max_value)
+    throw std::invalid_argument("Histogram::merge: layout mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+}
+
+void Histogram::reset() {
+  counts_.assign(counts_.size(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = 0;
+}
+
+std::string Histogram::str() const {
+  if (count_ == 0) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%lld [%lld, %lld] p99=%lld (n=%llu)",
+                static_cast<long long>(percentile(50.0)), static_cast<long long>(min()),
+                static_cast<long long>(max()), static_cast<long long>(percentile(99.0)),
+                static_cast<unsigned long long>(count_));
+  return buf;
+}
+
+} // namespace switchml

@@ -62,6 +62,9 @@ void MetricsRegistry::check_unique(const std::string& name) const {
   for (const auto& [n, s] : summaries_)
     if (n == name)
       throw std::invalid_argument("MetricsRegistry: duplicate series name '" + name + "'");
+  for (const auto& [n, h] : histograms_)
+    if (n == name)
+      throw std::invalid_argument("MetricsRegistry: duplicate series name '" + name + "'");
 }
 
 void MetricsRegistry::add_counter(std::string name, Sampler sample) {
@@ -77,6 +80,11 @@ void MetricsRegistry::add_gauge(std::string name, GaugeSampler sample) {
 void MetricsRegistry::add_summary(std::string name, const Summary* summary) {
   check_unique(name);
   summaries_.emplace_back(std::move(name), summary);
+}
+
+void MetricsRegistry::add_histogram(std::string name, const Histogram* histogram) {
+  check_unique(name);
+  histograms_.emplace_back(std::move(name), histogram);
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
@@ -97,10 +105,28 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
     }
     snap.summaries.emplace_back(name, stats);
   }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.count = histogram->count();
+    stats.overflow = histogram->overflow_count();
+    if (!histogram->empty()) {
+      stats.min = histogram->min();
+      stats.max = histogram->max();
+      stats.mean = histogram->mean();
+      const Histogram::Quantiles q = histogram->quantiles();
+      stats.p50 = q.p50;
+      stats.p90 = q.p90;
+      stats.p99 = q.p99;
+      stats.p999 = q.p999;
+    }
+    snap.histograms.emplace_back(name, stats);
+  }
   auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
   std::sort(snap.counters.begin(), snap.counters.end(), by_name);
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.summaries.begin(), snap.summaries.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
 }
 
@@ -124,6 +150,19 @@ std::int64_t MetricsRegistry::Snapshot::gauge(std::string_view name) const {
 
 bool MetricsRegistry::Snapshot::has_gauge(std::string_view name) const {
   for (const auto& [n, v] : gauges)
+    if (n == name) return true;
+  return false;
+}
+
+const MetricsRegistry::HistogramStats& MetricsRegistry::Snapshot::histogram(
+    std::string_view name) const {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return v;
+  throw std::out_of_range("MetricsRegistry: no histogram named '" + std::string(name) + "'");
+}
+
+bool MetricsRegistry::Snapshot::has_histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms)
     if (n == name) return true;
   return false;
 }
@@ -164,6 +203,17 @@ std::string MetricsRegistry::Snapshot::json() const {
         << ",\"median\":" << stats.median << ",\"max\":" << stats.max
         << ",\"mean\":" << stats.mean << '}';
   }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, stats] : histograms) {
+    if (!first) out << ',';
+    first = false;
+    append_json_string(out, name);
+    out << ":{\"count\":" << stats.count << ",\"min\":" << stats.min << ",\"max\":" << stats.max
+        << ",\"mean\":" << stats.mean << ",\"p50\":" << stats.p50 << ",\"p90\":" << stats.p90
+        << ",\"p99\":" << stats.p99 << ",\"p999\":" << stats.p999
+        << ",\"overflow\":" << stats.overflow << '}';
+  }
   out << "}}";
   return out.str();
 }
@@ -173,6 +223,7 @@ std::string MetricsRegistry::Snapshot::table() const {
   for (const auto& [name, value] : counters) width = std::max(width, name.size());
   for (const auto& [name, value] : gauges) width = std::max(width, name.size());
   for (const auto& [name, stats] : summaries) width = std::max(width, name.size());
+  for (const auto& [name, stats] : histograms) width = std::max(width, name.size());
   std::ostringstream out;
   for (const auto& [name, value] : counters)
     out << std::left << std::setw(static_cast<int>(width) + 2) << name << value << '\n';
@@ -181,6 +232,11 @@ std::string MetricsRegistry::Snapshot::table() const {
   for (const auto& [name, stats] : summaries) {
     out << std::left << std::setw(static_cast<int>(width) + 2) << name << std::setprecision(4)
         << stats.median << " [" << stats.min << ", " << stats.max << "] (n=" << stats.count
+        << ")\n";
+  }
+  for (const auto& [name, stats] : histograms) {
+    out << std::left << std::setw(static_cast<int>(width) + 2) << name << stats.p50 << " ["
+        << stats.min << ", " << stats.max << "] p99=" << stats.p99 << " (n=" << stats.count
         << ")\n";
   }
   return out.str();

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/stats.hpp"
 
 namespace switchml {
@@ -59,26 +60,41 @@ public:
   // Summary must outlive the registry's last snapshot().
   void add_summary(std::string name, const Summary* summary);
 
+  // Registers a fixed-memory latency histogram (hot-path spans: packet RTT,
+  // link queue wait, slot dwell). The Histogram must outlive the registry's
+  // last snapshot().
+  void add_histogram(std::string name, const Histogram* histogram);
+
   struct SummaryStats {
     std::size_t count = 0;
     double min = 0.0, median = 0.0, max = 0.0, mean = 0.0;
+  };
+
+  struct HistogramStats {
+    std::uint64_t count = 0, overflow = 0;
+    std::int64_t min = 0, max = 0, p50 = 0, p90 = 0, p99 = 0, p999 = 0;
+    double mean = 0.0;
   };
 
   struct Snapshot {
     std::vector<std::pair<std::string, std::uint64_t>> counters;    // sorted by name
     std::vector<std::pair<std::string, std::int64_t>> gauges;       // sorted by name
     std::vector<std::pair<std::string, SummaryStats>> summaries;    // sorted by name
+    std::vector<std::pair<std::string, HistogramStats>> histograms; // sorted by name
 
     // Exact-name lookup; throws std::out_of_range if absent.
     [[nodiscard]] std::uint64_t counter(std::string_view name) const;
     [[nodiscard]] bool has_counter(std::string_view name) const;
     [[nodiscard]] std::int64_t gauge(std::string_view name) const;
     [[nodiscard]] bool has_gauge(std::string_view name) const;
+    [[nodiscard]] const HistogramStats& histogram(std::string_view name) const;
+    [[nodiscard]] bool has_histogram(std::string_view name) const;
     // Sum of every counter whose name ends with `suffix` (e.g.
     // ".retransmissions" totals across all workers).
     [[nodiscard]] std::uint64_t sum(std::string_view suffix) const;
 
-    // {"counters": {...}, "gauges": {...}, "summaries": {"name": {"count":..,...}}}
+    // {"counters": {...}, "gauges": {...}, "summaries": {...},
+    //  "histograms": {"name": {"count":..,"p50":..,...}}}
     [[nodiscard]] std::string json() const;
     // Aligned two-column table for terminal output.
     [[nodiscard]] std::string table() const;
@@ -86,7 +102,7 @@ public:
 
   [[nodiscard]] Snapshot snapshot() const;
   [[nodiscard]] std::size_t size() const {
-    return counters_.size() + gauges_.size() + summaries_.size();
+    return counters_.size() + gauges_.size() + summaries_.size() + histograms_.size();
   }
 
   // Registered samplers, in registration order. The TimelineRecorder walks
@@ -97,6 +113,9 @@ public:
   }
   [[nodiscard]] const std::vector<std::pair<std::string, GaugeSampler>>& gauges() const {
     return gauges_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, const Histogram*>>& histograms() const {
+    return histograms_;
   }
 
   // --- ambient registry ------------------------------------------------------
@@ -122,6 +141,7 @@ private:
   std::vector<std::pair<std::string, Sampler>> counters_;
   std::vector<std::pair<std::string, GaugeSampler>> gauges_;
   std::vector<std::pair<std::string, const Summary*>> summaries_;
+  std::vector<std::pair<std::string, const Histogram*>> histograms_;
 };
 
 } // namespace switchml

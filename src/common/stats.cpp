@@ -13,8 +13,9 @@ void Summary::add(double v) {
 }
 
 void Summary::add_all(const std::vector<double>& vs) {
+  samples_.reserve(samples_.size() + vs.size());
   samples_.insert(samples_.end(), vs.begin(), vs.end());
-  sorted_ = false;
+  if (!vs.empty()) sorted_ = false;
 }
 
 void Summary::sort() const {

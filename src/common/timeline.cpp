@@ -48,6 +48,11 @@ TimelineRecorder::TimelineRecorder(sim::Simulation& sim, const MetricsRegistry& 
     throw std::invalid_argument("TimelineRecorder: max_samples must be at least 2");
   capture_sorted(registry.counters(), counter_names_, counter_samplers_);
   capture_sorted(registry.gauges(), gauge_names_, gauge_samplers_);
+  capture_sorted(registry.histograms(), hist_names_, hist_sources_);
+  // Seed the previous-counts baseline so the first interval's delta covers
+  // exactly the samples recorded after construction.
+  hist_prev_.reserve(hist_sources_.size());
+  for (const Histogram* h : hist_sources_) hist_prev_.push_back(h->counts());
 }
 
 TimelineRecorder::TimelineRecorder(sim::Simulation& sim, const MetricsRegistry& registry)
@@ -64,6 +69,15 @@ void TimelineRecorder::sample_now(Time t) {
   for (const auto& sample : counter_samplers_) s.counters.push_back(sample());
   s.gauges.reserve(gauge_samplers_.size());
   for (const auto& sample : gauge_samplers_) s.gauges.push_back(sample());
+  s.hists.reserve(hist_sources_.size());
+  for (std::size_t i = 0; i < hist_sources_.size(); ++i) {
+    const std::vector<std::uint64_t>& cur = hist_sources_[i]->counts();
+    std::vector<std::uint64_t>& prev = hist_prev_[i];
+    hist_scratch_.resize(cur.size());
+    for (std::size_t b = 0; b < cur.size(); ++b) hist_scratch_[b] = cur[b] - prev[b];
+    s.hists.push_back(hist_sources_[i]->quantiles_of(hist_scratch_));
+    prev = cur; // becomes the baseline of the next interval
+  }
   samples_.push_back(std::move(s));
 }
 
@@ -109,6 +123,23 @@ std::vector<std::int64_t> TimelineRecorder::levels(std::string_view gauge) const
   return out;
 }
 
+std::vector<Histogram::Quantiles> TimelineRecorder::interval_quantiles(
+    std::string_view histogram) const {
+  auto it = std::find(hist_names_.begin(), hist_names_.end(), histogram);
+  if (it == hist_names_.end())
+    throw std::out_of_range("TimelineRecorder: no histogram named '" + std::string(histogram) +
+                            "'");
+  const std::size_t idx = static_cast<std::size_t>(it - hist_names_.begin());
+  std::vector<Histogram::Quantiles> out;
+  if (samples_.size() < 2) return out;
+  out.reserve(samples_.size() - 1);
+  // The quantiles stored with sample i describe the interval ending at i;
+  // the baseline sample's entry (pre-start activity) is skipped, mirroring
+  // deltas().
+  for (std::size_t i = 1; i < samples_.size(); ++i) out.push_back(samples_[i].hists[idx]);
+  return out;
+}
+
 std::string TimelineRecorder::jsonl() const {
   std::ostringstream out;
   for (std::size_t i = 1; i < samples_.size(); ++i) {
@@ -127,7 +158,18 @@ std::string TimelineRecorder::jsonl() const {
       if (g != 0) out << ',';
       out << json_quote(gauge_names_[g]) << ':' << cur.gauges[g];
     }
-    out << "}}\n";
+    out << '}';
+    if (!hist_names_.empty()) {
+      out << ",\"hist\":{";
+      for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+        if (h != 0) out << ',';
+        const Histogram::Quantiles& q = cur.hists[h];
+        out << json_quote(hist_names_[h]) << ":{\"n\":" << q.count << ",\"p50\":" << q.p50
+            << ",\"p90\":" << q.p90 << ",\"p99\":" << q.p99 << ",\"p999\":" << q.p999 << '}';
+      }
+      out << '}';
+    }
+    out << "}\n";
   }
   if (dropped_ > 0) out << "{\"dropped_samples\":" << dropped_ << "}\n";
   return out.str();
@@ -138,6 +180,9 @@ std::string TimelineRecorder::csv() const {
   out << "t_ns,dt_ns";
   for (const std::string& name : counter_names_) out << ',' << name << ".rate";
   for (const std::string& name : gauge_names_) out << ',' << name;
+  for (const std::string& name : hist_names_)
+    out << ',' << name << ".n," << name << ".p50," << name << ".p90," << name << ".p99," << name
+        << ".p999";
   out << '\n';
   for (std::size_t i = 1; i < samples_.size(); ++i) {
     const Sample& prev = samples_[i - 1];
@@ -150,6 +195,10 @@ std::string TimelineRecorder::csv() const {
       format_rate(out, dt > 0 ? static_cast<double>(delta) / to_sec(dt) : 0.0);
     }
     for (std::size_t g = 0; g < gauge_names_.size(); ++g) out << ',' << cur.gauges[g];
+    for (std::size_t h = 0; h < hist_names_.size(); ++h) {
+      const Histogram::Quantiles& q = cur.hists[h];
+      out << ',' << q.count << ',' << q.p50 << ',' << q.p90 << ',' << q.p99 << ',' << q.p999;
+    }
     out << '\n';
   }
   return out.str();

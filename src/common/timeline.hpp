@@ -1,10 +1,13 @@
 // Sim-clock timeline telemetry (tier 1 of the observability layer).
 //
-// A TimelineRecorder periodically samples every counter and gauge registered
-// in a MetricsRegistry, driven by the simulation clock: counters become
-// per-interval deltas (exported as rates), gauges become instantaneous
-// levels. This turns end-of-run snapshot totals into time-resolved series —
-// the view the paper's Fig 6 / §5.3 loss analysis needs.
+// A TimelineRecorder periodically samples every counter, gauge, and
+// histogram registered in a MetricsRegistry, driven by the simulation clock:
+// counters become per-interval deltas (exported as rates), gauges become
+// instantaneous levels, histograms become per-interval percentile series
+// (p50/p90/p99/p99.9 of only the samples recorded during that interval,
+// computed from bucket-count deltas — no samples are replayed or stored).
+// This turns end-of-run snapshot totals into time-resolved series — the view
+// the paper's Fig 6 / §5.3 loss analysis needs.
 //
 // The periodic tick is a *daemon* timer (sim::Simulation::schedule_daemon_timer):
 // it re-arms only while the simulation still has live work pending, so
@@ -70,6 +73,7 @@ public:
 
   [[nodiscard]] const std::vector<std::string>& counter_names() const { return counter_names_; }
   [[nodiscard]] const std::vector<std::string>& gauge_names() const { return gauge_names_; }
+  [[nodiscard]] const std::vector<std::string>& histogram_names() const { return hist_names_; }
 
   // Sample timestamps, oldest first. sample_count() includes the baseline.
   [[nodiscard]] std::vector<Time> times() const;
@@ -82,15 +86,22 @@ public:
   [[nodiscard]] std::vector<double> rate_per_s(std::string_view counter) const;
   // Gauge level at each sample point (size = sample_count()).
   [[nodiscard]] std::vector<std::int64_t> levels(std::string_view gauge) const;
+  // Per-interval histogram quantiles (size = sample_count() - 1): element i
+  // summarizes only the samples recorded between sample i and sample i+1.
+  // Idle intervals report count 0 with zero percentiles.
+  [[nodiscard]] std::vector<Histogram::Quantiles> interval_quantiles(
+      std::string_view histogram) const;
 
   // --- export ----------------------------------------------------------------
 
   // One JSON object per interval:
   //   {"t_ns":<end>,"dt_ns":<len>,"rates":{"<counter>":<per-s>,...},
-  //    "gauges":{"<name>":<level-at-end>,...}}
+  //    "gauges":{"<name>":<level-at-end>,...},
+  //    "hist":{"<name>":{"n":..,"p50":..,"p90":..,"p99":..,"p999":..},...}}
   // A trailing object reports {"dropped_samples":N} when the ring overflowed.
   [[nodiscard]] std::string jsonl() const;
-  // Header "t_ns,dt_ns,<counter>.rate...,<gauge>...", one row per interval.
+  // Header "t_ns,dt_ns,<counter>.rate...,<gauge>...,<hist>.n,<hist>.p50...",
+  // one row per interval.
   [[nodiscard]] std::string csv() const;
 
   enum class Format { kJsonl, kCsv };
@@ -99,8 +110,10 @@ public:
 private:
   struct Sample {
     Time t = 0;
-    std::vector<std::uint64_t> counters; // raw cumulative values
-    std::vector<std::int64_t> gauges;    // instantaneous levels
+    std::vector<std::uint64_t> counters;         // raw cumulative values
+    std::vector<std::int64_t> gauges;            // instantaneous levels
+    std::vector<Histogram::Quantiles> hists;     // quantiles of the interval
+                                                 // ending at this sample
   };
 
   void arm() {
@@ -121,8 +134,14 @@ private:
   sim::TimerHandle tick_;
   std::vector<std::string> counter_names_;
   std::vector<std::string> gauge_names_;
+  std::vector<std::string> hist_names_;
   std::vector<MetricsRegistry::Sampler> counter_samplers_;
   std::vector<MetricsRegistry::GaugeSampler> gauge_samplers_;
+  std::vector<const Histogram*> hist_sources_;
+  // Bucket counts of each histogram as of the previous sample; the delta
+  // against the live counts yields the current interval's distribution.
+  std::vector<std::vector<std::uint64_t>> hist_prev_;
+  std::vector<std::uint64_t> hist_scratch_; // reused delta buffer
   std::deque<Sample> samples_; // bounded ring, oldest first
   std::uint64_t dropped_ = 0;
 };

@@ -101,6 +101,39 @@ private:
   std::vector<Time> durations_;
 };
 
+// RAII for the config's observability hooks: arms an optional
+// TimelineRecorder before the run; the caller invokes end() after the run
+// (finish + export + on_metrics) while the cluster is still alive.
+class SimTelemetry {
+public:
+  SimTelemetry(const TrainingSimConfig& cfg, sim::Simulation& sim, MetricsRegistry& registry)
+      : cfg_(cfg), registry_(registry) {
+    if (!cfg.timeline_path.empty()) {
+      TimelineRecorder::Config tc;
+      tc.period = cfg.timeline_period;
+      recorder_ = std::make_unique<TimelineRecorder>(sim, registry, tc);
+      recorder_->start();
+    }
+  }
+
+  void end() {
+    if (recorder_) {
+      recorder_->finish();
+      const bool csv = cfg_.timeline_path.size() >= 4 &&
+                       cfg_.timeline_path.rfind(".csv") == cfg_.timeline_path.size() - 4;
+      recorder_->write(cfg_.timeline_path, csv ? TimelineRecorder::Format::kCsv
+                                               : TimelineRecorder::Format::kJsonl);
+      recorder_.reset();
+    }
+    if (cfg_.on_metrics) cfg_.on_metrics(registry_);
+  }
+
+private:
+  const TrainingSimConfig& cfg_;
+  MetricsRegistry& registry_;
+  std::unique_ptr<TimelineRecorder> recorder_;
+};
+
 TrainingSimResult summarize(const ComputePlan& plan, const TrainingSimConfig& cfg,
                             const perf::ModelSpec& spec, const std::vector<Time>& durations) {
   const int batch = cfg.batch > 0 ? cfg.batch : spec.batch_size;
@@ -145,7 +178,10 @@ TrainingSimResult simulate_switchml_training(const perf::ModelSpec& spec,
                            for (std::size_t w = 0; w < managers.size(); ++w)
                              managers[w]->submit(elems, w == 0 ? done : nullptr);
                          });
-  return summarize(plan, cfg, spec, driver.run());
+  SimTelemetry telemetry(cfg, cluster.simulation(), cluster.metrics());
+  const std::vector<Time> durations = driver.run();
+  telemetry.end();
+  return summarize(plan, cfg, spec, durations);
 }
 
 TrainingSimResult simulate_ring_training(const perf::ModelSpec& spec,
@@ -201,7 +237,10 @@ TrainingSimResult simulate_ring_training(const perf::ModelSpec& spec,
                            fusion.submit(static_cast<std::int64_t>(elems) * 4,
                                          std::move(done));
                          });
-  return summarize(plan, cfg, spec, driver.run());
+  SimTelemetry telemetry(cfg, cluster.simulation(), cluster.metrics());
+  const std::vector<Time> durations = driver.run();
+  telemetry.end();
+  return summarize(plan, cfg, spec, durations);
 }
 
 } // namespace switchml::framework

@@ -16,7 +16,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
+#include "common/timeline.hpp"
 #include "core/cluster.hpp"
 #include "framework/layer_model.hpp"
 
@@ -36,6 +39,17 @@ struct TrainingSimConfig {
   // preserved while the event count drops. Fixed per-packet latencies do NOT
   // scale, so small scales slightly overstate per-tensor launch costs.
   double size_scale = 0.25;
+
+  // Observability hooks, so the framework sims go through the same
+  // sidecar/timeline path as the cluster benches (fig3/table1):
+  //  * timeline_path non-empty => a TimelineRecorder samples the cluster's
+  //    registry every timeline_period and writes JSONL (or CSV when the path
+  //    ends in ".csv") after the run;
+  //  * on_metrics, when set, receives the cluster's registry after the run
+  //    completes and before teardown (MetricsSidecar snapshots).
+  std::string timeline_path;
+  Time timeline_period = msec(1);
+  std::function<void(const MetricsRegistry&)> on_metrics;
 };
 
 struct TrainingSimResult {

@@ -31,9 +31,9 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
       end_a_(&end_a),
       end_b_(&end_b),
       a_to_b_{&end_b, port_b, 0, 0, {}, {},
-              sim::Rng::stream(seed, end_a.name() + "->" + end_b.name())},
+              sim::Rng::stream(seed, end_a.name() + "->" + end_b.name()), {}},
       b_to_a_{&end_a, port_a, 0, 0, {}, {},
-              sim::Rng::stream(seed, end_b.name() + "->" + end_a.name())} {
+              sim::Rng::stream(seed, end_b.name() + "->" + end_a.name()), {}} {
   if (config.rate <= 0) throw std::invalid_argument("Link rate must be positive");
 
   if (auto* reg = MetricsRegistry::current()) {
@@ -53,6 +53,7 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
           if (finish > now) bytes += b;
         return bytes;
       });
+      reg->add_histogram(prefix + "queue_wait_ns", &dir.queue_wait_ns);
     };
     add_direction("link." + end_a.name() + "->" + end_b.name() + ".", a_to_b_);
     add_direction("link." + end_b.name() + "->" + end_a.name() + ".", b_to_a_);
@@ -129,6 +130,7 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
   dir.counters.tx_bytes += static_cast<std::uint64_t>(wire);
 
   const Time start = std::max({now, earliest_start, dir.busy_until});
+  dir.queue_wait_ns.record(start - std::max(now, earliest_start));
   const Time finish = start + serialization_time(wire, config_.rate);
   dir.busy_until = finish;
   dir.backlog_bytes += wire;

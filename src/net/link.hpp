@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/histogram.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/trace.hpp"
@@ -80,6 +81,9 @@ private:
     std::deque<std::pair<Time, std::int64_t>> in_flight; // (finish, bytes)
     Counters counters;
     sim::Rng rng;
+    // Time each packet waited behind earlier serializations before its own
+    // began (0 when the port was idle) — the queueing-delay distribution.
+    Histogram queue_wait_ns;
   };
 
   Direction& direction_from(const Node& sender);

@@ -22,6 +22,8 @@ TransportHost::TransportHost(sim::Simulation& simulation, NodeId id, std::string
     reg->add_counter(p + "timeouts", [this] { return transport_counters_.timeouts; });
     reg->add_counter(p + "fast_retransmits",
                      [this] { return transport_counters_.fast_retransmits; });
+    reg->add_histogram(p + "rtt_ns", &rtt_ns_);
+    reg->add_histogram(p + "retx_recovery_ns", &retx_recovery_ns_);
   }
 }
 
@@ -79,6 +81,8 @@ void ReliableSender::start(std::int64_t total_bytes, std::span<const float> data
   snd_una_ = 0;
   snd_nxt_ = 0;
   snd_max_ = 0;
+  probe_end_ = -1;
+  retx_since_ = -1;
   // Persistent connection: cwnd starts at the cap and only shrinks on loss.
   cwnd_ = profile_.window_bytes;
   ssthresh_ = profile_.window_bytes;
@@ -105,6 +109,12 @@ void ReliableSender::send_segment(std::int64_t seq) {
   trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(),
               seq < snd_max_ ? "seg_retx" : "seg_send", {"stream", stream_},
               {"seq", seq}, {"len", len});
+  if (seq < snd_max_) {
+    probe_end_ = -1; // Karn: an ACK past the probe may now be for a resend
+  } else if (probe_end_ < 0) {
+    probe_end_ = seq + len;
+    probe_sent_at_ = host_.simulation().now();
+  }
   snd_max_ = std::max(snd_max_, seq + len);
   host_.transmit(std::move(p));
 }
@@ -136,6 +146,7 @@ void ReliableSender::on_timeout() {
       static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
   counters_.retransmissions += window_segs;
   host_.transport_counters().retransmissions += window_segs;
+  if (retx_since_ < 0) retx_since_ = host_.simulation().now();
   snd_nxt_ = snd_una_; // go-back-N
   if (profile_.congestion_control) {
     // RTO is a serious congestion signal: collapse to one segment and
@@ -152,6 +163,15 @@ void ReliableSender::on_timeout() {
 void ReliableSender::on_ack(const Packet& ack) {
   const auto acked = static_cast<std::int64_t>(ack.seq);
   if (acked > snd_una_) {
+    const Time now = host_.simulation().now();
+    if (probe_end_ >= 0 && acked >= probe_end_) {
+      host_.rtt_hist().record(now - probe_sent_at_);
+      probe_end_ = -1;
+    }
+    if (retx_since_ >= 0) {
+      host_.retx_recovery_hist().record(now - retx_since_);
+      retx_since_ = -1;
+    }
     const std::int64_t newly_acked = acked - snd_una_;
     snd_una_ = acked;
     dupacks_ = 0;
@@ -183,6 +203,7 @@ void ReliableSender::on_ack(const Packet& ack) {
       ++host_.transport_counters().retransmissions;
       in_fast_recovery_ = true;
       dupacks_ = 0;
+      if (retx_since_ < 0) retx_since_ = host_.simulation().now();
       if (profile_.congestion_control) {
         // Multiplicative decrease.
         ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * profile_.mss);

@@ -18,6 +18,7 @@
 #include <span>
 #include <unordered_map>
 
+#include "common/histogram.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
 #include "net/node.hpp"
@@ -73,12 +74,20 @@ public:
   [[nodiscard]] TransportCounters& transport_counters() { return transport_counters_; }
   [[nodiscard]] const TransportCounters& transport_counters() const { return transport_counters_; }
 
+  // Latency spans, host-wide for the same lifetime reason as the counters:
+  // ACK-clocked segment RTT (one probe segment per window, Karn's rule) and
+  // loss-recovery latency (first retransmission to ACK advance).
+  [[nodiscard]] Histogram& rtt_hist() { return rtt_ns_; }
+  [[nodiscard]] Histogram& retx_recovery_hist() { return retx_recovery_ns_; }
+
 private:
   HostNic nic_;
   Link* uplink_ = nullptr;
   std::unordered_map<std::uint32_t, ReliableSender*> senders_;
   std::unordered_map<std::uint32_t, ReliableReceiver*> receivers_;
   TransportCounters transport_counters_;
+  Histogram rtt_ns_;
+  Histogram retx_recovery_ns_;
 };
 
 // Sends `total_bytes` to `dst` as a single stream. If `data` is nonempty it
@@ -130,6 +139,13 @@ private:
   Time rto_;
   sim::TimerHandle timer_;
   Counters counters_;
+  // RTT probe: one timed segment per window; any retransmission while it is
+  // outstanding invalidates the sample (Karn's rule, ambiguous ACK).
+  std::int64_t probe_end_ = -1; // byte the probe's cumulative ACK must reach
+  Time probe_sent_at_ = 0;
+  // Loss-recovery span: first retransmission (RTO or fast retransmit) until
+  // the next cumulative ACK advance.
+  Time retx_since_ = -1;
 };
 
 // Receives a single stream of `total_bytes`. Out-of-order segments are

@@ -49,6 +49,8 @@ AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id
     reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
     reg->add_gauge(p + "sram_used_bytes",
                    [this] { return static_cast<std::int64_t>(register_bytes()); });
+    reg->add_histogram(p + "slot_dwell_ns", &slot_dwell_ns_);
+    reg->add_histogram(p + "version_flip_interval_ns", &flip_interval_ns_);
   }
 }
 
@@ -88,6 +90,8 @@ bool AggregationSwitch::admit_job(std::uint8_t job, const JobParams& params) {
   JobState state;
   state.params = params;
   state.claim_ver.assign(params.pool_size, 255);
+  state.claim_at.assign(params.pool_size, -1);
+  state.flip_at.assign(params.pool_size, -1);
   const std::string prefix = "job" + std::to_string(job) + ".";
   if (!config_.lossless)
     state.seen = std::make_unique<dp::RegisterArray>(pipeline_, prefix + "seen", 0,
@@ -251,9 +255,13 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
       // version means this slot just turned over (Algorithm 4's ver flip).
       const std::uint8_t prev_ver = job.claim_ver[idx];
       job.claim_ver[idx] = static_cast<std::uint8_t>(ver);
-      if (prev_ver != 255 && prev_ver != static_cast<std::uint8_t>(ver))
+      job.claim_at[idx] = sim_.now();
+      if (prev_ver != 255 && prev_ver != static_cast<std::uint8_t>(ver)) {
+        if (job.flip_at[idx] >= 0) flip_interval_ns_.record(sim_.now() - job.flip_at[idx]);
+        job.flip_at[idx] = sim_.now();
         trace::emit(trace::kCatSwitch, sim_.now(), id(), "version_flip", {"slot", idx},
                     {"ver", ver});
+      }
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "claim", {"slot", idx},
                   {"wid", wid_local}, {"ver", ver});
     } else {
@@ -293,6 +301,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
 
     if (complete) {
       ++counters_.completions;
+      if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
                   {"off", static_cast<std::int64_t>(p.off)});
       emit_result(job, p, std::move(result_values));

@@ -36,6 +36,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "dataplane/pipeline.hpp"
 #include "net/l2switch.hpp"
 #include "quant/float16.hpp"
@@ -131,6 +132,13 @@ public:
   [[nodiscard]] const dp::Pipeline& pipeline() const { return pipeline_; }
   [[nodiscard]] const AggregationConfig& config() const { return config_; }
 
+  // Latency distributions across all jobs: slot dwell (first contribution of
+  // a phase until the completing one) and the interval between consecutive
+  // version flips of a slot — the switch-side view of the §3.5 pipelining
+  // cadence.
+  [[nodiscard]] const Histogram& slot_dwell_hist() const { return slot_dwell_ns_; }
+  [[nodiscard]] const Histogram& version_flip_hist() const { return flip_interval_ns_; }
+
 private:
   // Register layout (stage assignment mirrors Appendix B: bitmap first, then
   // the counter, then the value registers spread across remaining stages).
@@ -143,6 +151,11 @@ private:
     // a claim under the other version marks the slot's generation turnover
     // ("version_flip" trace event). Not switch protocol state — pure telemetry.
     std::vector<std::uint8_t> claim_ver;
+    // Telemetry timestamps per slot (-1 = never): the most recent claim
+    // (feeds the claim->complete dwell histogram) and the most recent
+    // version flip (feeds the flip-interval histogram).
+    std::vector<Time> claim_at;
+    std::vector<Time> flip_at;
   };
 
   void handle_update(net::Packet&& p, int in_port);
@@ -162,6 +175,8 @@ private:
   std::map<std::uint8_t, JobState> jobs_;
   std::unique_ptr<quant::Fp16Table> fp16_table_;
   Counters counters_;
+  Histogram slot_dwell_ns_;
+  Histogram flip_interval_ns_;
 };
 
 } // namespace switchml::swprog

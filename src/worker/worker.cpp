@@ -39,6 +39,8 @@ Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
                    [this] { return static_cast<std::int64_t>(in_flight_slots()); });
     reg->add_gauge(p + "rto_ns", [this] { return static_cast<std::int64_t>(rto_); });
     reg->add_summary(p + "rtt_us", &rtt_);
+    reg->add_histogram(p + "rtt_ns", &rtt_ns_);
+    reg->add_histogram(p + "completion_ns", &completion_ns_);
   }
 }
 
@@ -62,6 +64,7 @@ void Worker::drain_wire_ledger() {
 
 void Worker::rtt_sample(Time sample) {
   rtt_.add(to_usec(sample));
+  rtt_ns_.record(sample);
   if (!config_.adaptive_rto) return;
   // Jacobson/Karels: SRTT <- SRTT + (R - SRTT)/8, RTTVAR <- RTTVAR +
   // (|R - SRTT| - RTTVAR)/4, RTO = SRTT + 4 RTTVAR.
@@ -108,6 +111,7 @@ void Worker::start_reduction(std::uint64_t total_elems, std::function<void()> on
 
   total_elems_ = total_elems;
   on_complete_ = std::move(on_complete);
+  reduction_started_at_ = sim_.now();
   const std::uint64_t chunks =
       (total_elems + config_.elems_per_packet - 1) / config_.elems_per_packet;
   remaining_chunks_ = chunks;
@@ -242,6 +246,7 @@ void Worker::handle_result(net::Packet&& p) {
   }
 
   if (--remaining_chunks_ == 0) {
+    completion_ns_.record(sim_.now() - reduction_started_at_);
     total_elems_ = 0;
     update_ = {};
     auto done = std::move(on_complete_);

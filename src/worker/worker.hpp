@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "common/histogram.hpp"
 #include "common/stats.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
@@ -102,6 +103,12 @@ public:
   // (Karn's rule). Used for Fig 2's right axis.
   [[nodiscard]] const Summary& rtt() const { return rtt_; }
 
+  // Same samples as fixed-memory nanosecond distributions ("<name>.rtt_ns"),
+  // plus per-reduction completion times ("<name>.completion_ns") whose
+  // spread across workers is the Fig 4 tensor-completion skew.
+  [[nodiscard]] const Histogram& rtt_hist() const { return rtt_ns_; }
+  [[nodiscard]] const Histogram& completion_hist() const { return completion_ns_; }
+
   // Current retransmission timeout (adaptive or fixed).
   [[nodiscard]] Time current_rto() const { return rto_; }
 
@@ -168,6 +175,9 @@ private:
   // in-flight window.
   std::vector<Time> wire_pending_;
   Summary rtt_;
+  Histogram rtt_ns_;
+  Histogram completion_ns_;
+  Time reduction_started_at_ = 0;
   // Jacobson/Karels state (adaptive_rto).
   Time rto_ = 0;
   double srtt_ = 0.0;

@@ -2,6 +2,9 @@
 // time/bandwidth unit math.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <vector>
+
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/units.hpp"
@@ -80,6 +83,59 @@ TEST(Summary, StddevMatchesHandComputation) {
   Summary s;
   s.add_all({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
   EXPECT_NEAR(s.stddev(), 2.138, 0.001); // sample stddev
+}
+
+TEST(Summary, EmptyIsTotalForStrAndStddev) {
+  Summary s;
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0); // total, unlike min/median
+  EXPECT_EQ(s.str(), "(no samples)");
+  EXPECT_THROW((void)s.max(), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, SingleSampleIsWellDefinedEverywhere) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.str(), "7.50 [7.50, 7.50] (n=1)");
+}
+
+TEST(Summary, PercentileClampsOutOfRangeP) {
+  Summary s;
+  s.add_all({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(s.percentile(-5), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(250), 30.0);
+}
+
+TEST(Summary, SortedInvariantCachedAcrossMixedReads) {
+  Summary s;
+  s.add_all({9.0, 1.0, 5.0});
+  // Mixed order-statistic reads between mutations all see a consistent view.
+  EXPECT_DOUBLE_EQ(s.percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  s.add_all({}); // empty batch must not disturb the cached sort
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(0.5);
+  EXPECT_DOUBLE_EQ(s.min(), 0.5); // re-sorted lazily after the mutation
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Summary, AddAllReservesOnce) {
+  Summary s;
+  s.add(1.0);
+  std::vector<double> batch(1000, 2.0);
+  s.add_all(batch);
+  EXPECT_GE(s.samples().capacity(), 1001u);
+  EXPECT_EQ(s.count(), 1001u);
 }
 
 TEST(Table, RendersAlignedColumns) {

@@ -109,6 +109,50 @@ TEST(Timeline, UnknownSeriesThrows) {
   TimelineRecorder tl(sim, reg);
   EXPECT_THROW(tl.deltas("nope"), std::out_of_range);
   EXPECT_THROW(tl.levels("nope"), std::out_of_range);
+  EXPECT_THROW(tl.interval_quantiles("nope"), std::out_of_range);
+}
+
+TEST(Timeline, HistogramsBecomePerIntervalQuantiles) {
+  sim::Simulation sim;
+  MetricsRegistry reg;
+  Histogram h;
+  reg.add_histogram("w.rtt_ns", &h);
+  h.record(999'999); // pre-construction-baseline sample: must not leak into
+                     // any exported interval (recorded before the recorder's
+                     // baseline would be misattributed otherwise)
+
+  TimelineRecorder::Config tc;
+  tc.period = usec(10);
+  TimelineRecorder tl(sim, reg, tc);
+  // Tick 1 interval: 100 samples around 1000 ns. Tick 2: idle. Tick 3: 100
+  // samples around 100000 ns.
+  sim.schedule_at(usec(5), [&] {
+    for (int i = 0; i < 100; ++i) h.record(1000 + i);
+  });
+  sim.schedule_at(usec(25), [&] {
+    for (int i = 0; i < 100; ++i) h.record(100'000 + i);
+  });
+  tl.start();
+  sim.run();
+  tl.finish();
+
+  ASSERT_EQ(tl.histogram_names().size(), 1u);
+  const auto q = tl.interval_quantiles("w.rtt_ns");
+  ASSERT_GE(q.size(), 3u);
+  EXPECT_EQ(q[0].count, 100u);
+  EXPECT_GE(q[0].p50, 1000);
+  EXPECT_LT(q[0].p99, 2000); // tick-1 percentiles unpolluted by tick 3
+  EXPECT_EQ(q[1].count, 0u); // idle interval: zeros, not stale data
+  EXPECT_EQ(q[1].p999, 0);
+  EXPECT_EQ(q[2].count, 100u);
+  EXPECT_GE(q[2].p50, 100'000); // tick-3 percentiles unpolluted by tick 1
+
+  // Exports carry the per-interval series.
+  const std::string jsonl = tl.jsonl();
+  EXPECT_NE(jsonl.find("\"hist\":{\"w.rtt_ns\":{\"n\":100,\"p50\":"), std::string::npos);
+  const std::string csv = tl.csv();
+  EXPECT_NE(csv.find("w.rtt_ns.n,w.rtt_ns.p50,w.rtt_ns.p90,w.rtt_ns.p99,w.rtt_ns.p999"),
+            std::string::npos);
 }
 
 // --- cluster-level tests -----------------------------------------------------
