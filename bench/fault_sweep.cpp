@@ -1,0 +1,261 @@
+// Fault sweep: TAT inflation under the FaultInjector's four fault classes,
+// on the rack fabric (8 workers, 10 Gbps) plus one hierarchy failover point.
+//
+//   1. Stragglers: one worker's NIC slowed 2x/4x/8x. SwitchML is
+//      self-clocked (§6), so everyone drags to the straggler's pace but
+//      inflation stays bounded by the slowdown factor itself.
+//   2. Link flaps: one worker's link cycles down at 5/10/20% duty. Every
+//      down window costs ~1 RTO of stall for the packets it ate, so
+//      inflation tracks duty cycle times the RTO/period ratio — bounded,
+//      never a livelock.
+//   3. Burst loss: Gilbert-Elliott bursts vs a Bernoulli process matched to
+//      the same average rate. Bursts stall many slots of one worker at
+//      once, so the same average loss costs more than independent drops.
+//   4. Failover: a leaf switch of a 2-rack hierarchy restarts mid-reduction
+//      (pool + bitmaps + shadow copies wiped); workers re-drive the wiped
+//      slots via RTO retransmission.
+//
+// Each faulted run builds a fresh fabric: FaultPlan times are absolute sim
+// time, so one reduction per fabric keeps plans meaningful. All reported
+// values are sim-deterministic (kSimTol).
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "common/tracing.hpp"
+#include "core/fault.hpp"
+
+using namespace switchml;
+using namespace switchml::bench;
+
+namespace {
+
+struct FaultResult {
+  RateResult rate;
+  double tat_max_ms = 0.0; // slowest worker (inflation is about the laggard)
+  std::uint64_t flaps_applied = 0;
+  std::uint64_t straggler_windows = 0;
+  std::uint64_t restarts_applied = 0;
+  std::uint64_t dropped_down = 0;
+  std::uint64_t dropped_burst = 0;
+  std::uint64_t burst_entries = 0;
+};
+
+// One reduction on a fresh rack fabric with `plan` injected.
+FaultResult measure_faulted(BitsPerSecond rate, int workers, std::uint64_t elems,
+                            const core::FaultPlan& plan, MetricsSidecar* sidecar,
+                            const std::string& label, const TimelineRequest* timeline) {
+  core::ClusterConfig cfg = core::ClusterConfig::for_rate(rate, workers);
+  cfg.timing_only = true;
+  cfg.faults = plan;
+  core::Cluster cluster(cfg);
+  ScopedTimeline scoped(timeline, cluster.simulation(), cluster.metrics(), label);
+
+  const auto tats = cluster.reduce_timing(elems);
+  scoped.finish_and_write();
+
+  FaultResult out;
+  Summary tat_ms;
+  Time max_tat = 0;
+  for (Time t : tats) {
+    tat_ms.add(to_msec(t));
+    max_tat = std::max(max_tat, t);
+  }
+  out.rate.tat_ms = tat_ms.median();
+  out.tat_max_ms = to_msec(max_tat);
+  out.rate.ate_per_s = static_cast<double>(elems) / (out.rate.tat_ms / 1e3);
+  fill_tail_stats(out.rate, cluster.metrics());
+  if (core::FaultInjector* inj = cluster.fabric().fault_injector()) {
+    out.flaps_applied = inj->counters().flaps_applied;
+    out.straggler_windows = inj->counters().straggler_windows;
+    out.restarts_applied = inj->counters().restarts_applied;
+  }
+  for (int i = 0; i < workers; ++i) {
+    for (const net::Node* end :
+         {static_cast<const net::Node*>(&cluster.worker(i)),
+          static_cast<const net::Node*>(&cluster.agg_switch())}) {
+      const auto& c = cluster.link(i).counters_from(*end);
+      out.dropped_down += c.dropped_down;
+      out.dropped_burst += c.dropped_burst;
+      out.burst_entries += c.burst_entries;
+    }
+  }
+  if (sidecar != nullptr) sidecar->record(label, cluster.metrics());
+  return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const BenchScale scale = BenchScale::from_args(argc, argv, 2'000'000, 1);
+  const bool fast = has_flag(argc, argv, "--fast");
+  const BitsPerSecond rate = gbps(10);
+  const int workers = 8;
+
+  std::printf("=== Fault sweep: TAT inflation under injected faults (10 Gbps, %d workers) ===\n",
+              workers);
+  MetricsSidecar sidecar("fault_sweep_metrics.json");
+  const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
+  BenchReport report("fault_sweep", argc, argv);
+
+  // Perfetto export of every fault event across all runs. The runtime mask
+  // keeps only kCatFault (link_down/up, straggler_on/off, burst_begin,
+  // switch_restart): with all categories on, regular traffic would fill the
+  // buffer long before the later fault edges fire.
+  auto sink = std::make_unique<trace::TraceSink>(fast ? (1u << 16) : (1u << 20),
+                                                trace::kCatFault);
+  trace::TraceSink::Scope trace_scope(sink.get());
+
+  const FaultResult clean = measure_faulted(rate, workers, scale.tensor_elems, {}, &sidecar,
+                                            "clean", &timeline_req);
+  report.add("clean.tat_ms", clean.rate.tat_ms);
+  report.add("clean.tat_max_ms", clean.tat_max_ms);
+  std::printf("clean TAT: %s (max %s)\n\n",
+              format_duration(static_cast<Time>(clean.rate.tat_ms * 1e6)).c_str(),
+              format_duration(static_cast<Time>(clean.tat_max_ms * 1e6)).c_str());
+
+  // --- 1. straggler severity sweep -----------------------------------------
+  // The 10G NIC profile leaves the 4 cores ~8x headroom over the wire
+  // (36 ns/packet/direction vs a 576 ns per-core packet interval), so
+  // inflation has a knee at 8x and grows ~f/8 past it — the fabric absorbs
+  // moderate stragglers entirely.
+  Table stragglers({"straggler", "TAT (max)", "inflation", "min/max TAT"});
+  for (double factor : {4.0, 16.0, 64.0}) {
+    core::FaultPlan plan;
+    plan.stragglers.push_back({0, factor, 0, -1});
+    const std::string tag = "straggler-" + Table::num(factor, 0) + "x";
+    const FaultResult r = measure_faulted(rate, workers, scale.tensor_elems, plan, &sidecar,
+                                          tag, &timeline_req);
+    const double inflation = r.tat_max_ms / clean.tat_max_ms;
+    // Self-clocking: the fast workers finish within ~an RTT of the laggard.
+    const double spread = r.rate.tat_p50_ms > 0 ? r.rate.tat_min_ms / r.tat_max_ms : 1.0;
+    stragglers.add_row({Table::num(factor, 0) + "x slower NIC",
+                        format_duration(static_cast<Time>(r.tat_max_ms * 1e6)),
+                        Table::num(inflation, 2) + "x", Table::num(spread, 3)});
+    report.add(tag + ".tat_max_ms", r.tat_max_ms);
+    report.add(tag + ".inflation", inflation);
+    report.add(tag + ".straggler_windows", static_cast<double>(r.straggler_windows));
+  }
+  std::printf("one slow worker (worker 0, whole run):\n%s\n", stragglers.to_string().c_str());
+
+  // --- 2. link-flap duty-cycle sweep ---------------------------------------
+  // Worker 0's link cycles down for duty*period out of every period. The
+  // period (700 us) deliberately does not divide the 1 ms RTO, so
+  // retransmissions cannot resonate with the down windows.
+  Table flaps({"flap duty", "TAT (max)", "inflation", "flaps", "pkts killed"});
+  for (double duty : {0.05, 0.10, 0.20}) {
+    core::FaultPlan plan;
+    plan.flap_cycles.push_back({0, usec(700), duty, usec(50), 0});
+    const std::string tag = "flap-" + Table::num(duty * 100, 0) + "pct";
+    const FaultResult r = measure_faulted(rate, workers, scale.tensor_elems, plan, &sidecar,
+                                          tag, &timeline_req);
+    const double inflation = r.tat_max_ms / clean.tat_max_ms;
+    flaps.add_row({Table::num(duty * 100, 0) + "%",
+                   format_duration(static_cast<Time>(r.tat_max_ms * 1e6)),
+                   Table::num(inflation, 2) + "x", Table::num(static_cast<double>(r.flaps_applied), 0),
+                   Table::num(static_cast<double>(r.dropped_down), 0)});
+    report.add(tag + ".tat_max_ms", r.tat_max_ms);
+    report.add(tag + ".inflation", inflation);
+    report.add(tag + ".flaps_applied", static_cast<double>(r.flaps_applied));
+    report.add(tag + ".dropped_down", static_cast<double>(r.dropped_down));
+  }
+  std::printf("link 0 flapping (700 us period, 1 ms RTO):\n%s"
+              "(duty-insensitive by design: each down EDGE kills the in-flight window and\n"
+              " costs ~1 RTO of stall, during which no new traffic enters later down time —\n"
+              " so inflation tracks flap frequency, swept below, not duty.)\n\n",
+              flaps.to_string().c_str());
+
+  Table periods({"flap period", "TAT (max)", "inflation", "flaps", "pkts killed"});
+  for (Time period : {usec(350), usec(700), usec(1400)}) {
+    core::FaultPlan plan;
+    plan.flap_cycles.push_back({0, period, 0.10, usec(50), 0});
+    const std::string tag = "flap-period-" + Table::num(to_usec(period), 0) + "us";
+    const FaultResult r = measure_faulted(rate, workers, scale.tensor_elems, plan, &sidecar,
+                                          tag, &timeline_req);
+    const double inflation = r.tat_max_ms / clean.tat_max_ms;
+    periods.add_row({format_duration(period), format_duration(static_cast<Time>(r.tat_max_ms * 1e6)),
+                     Table::num(inflation, 2) + "x",
+                     Table::num(static_cast<double>(r.flaps_applied), 0),
+                     Table::num(static_cast<double>(r.dropped_down), 0)});
+    report.add(tag + ".tat_max_ms", r.tat_max_ms);
+    report.add(tag + ".inflation", inflation);
+    report.add(tag + ".flaps_applied", static_cast<double>(r.flaps_applied));
+  }
+  std::printf("link 0 flapping at 10%% duty, period swept:\n%s\n", periods.to_string().c_str());
+
+  // --- 3. burstiness at matched average loss --------------------------------
+  // Gilbert-Elliott with p_enter=0.002, p_exit=0.1, loss_bad=0.25 has
+  // stationary loss 0.25 * 0.002 / 0.102 ~= 0.49% — compare against a 0.49%
+  // Bernoulli process to isolate the cost of burstiness itself.
+  const double matched = 0.25 * 0.002 / 0.102;
+  core::FaultPlan ge_plan;
+  ge_plan.bursts.push_back({-1, net::BurstLossConfig{0.002, 0.1, 0.0, 0.25}});
+  const FaultResult ge = measure_faulted(rate, workers, scale.tensor_elems, ge_plan, &sidecar,
+                                         "gilbert-elliott", &timeline_req);
+  const RateResult bern = measure_switchml(rate, workers, scale, 0, false, matched, 4, 0.0,
+                                           false, &sidecar, "bernoulli-matched", &timeline_req);
+  std::printf("burst loss (both ~%.2f%% average):\n", matched * 100);
+  Table burst({"loss process", "TAT", "inflation"});
+  burst.add_row({"Bernoulli", format_duration(static_cast<Time>(bern.tat_ms * 1e6)),
+                 Table::num(bern.tat_ms / clean.rate.tat_ms, 2) + "x"});
+  burst.add_row({"Gilbert-Elliott (" + Table::num(static_cast<double>(ge.burst_entries), 0) +
+                     " bursts)",
+                 format_duration(static_cast<Time>(ge.rate.tat_ms * 1e6)),
+                 Table::num(ge.rate.tat_ms / clean.rate.tat_ms, 2) + "x"});
+  std::printf("%s\n", burst.to_string().c_str());
+  report.add("bernoulli-matched.tat_ms", bern.tat_ms);
+  report.add("gilbert-elliott.tat_ms", ge.rate.tat_ms);
+  report.add("gilbert-elliott.dropped_burst", static_cast<double>(ge.dropped_burst));
+  report.add("gilbert-elliott.burst_entries", static_cast<double>(ge.burst_entries));
+
+  // --- 4. hierarchy failover point ------------------------------------------
+  // A leaf switch of a 2-rack hierarchy restarts halfway through the run:
+  // pool, bitmaps, and shadow copies wiped; the reduction still completes via
+  // worker RTO retransmission. One worker straggles 16x in BOTH runs (the
+  // comparator isolates the restart's cost): with perfectly synchronized
+  // workers every slot aggregates instantaneously and a wipe lands on empty
+  // state, so the straggler is what keeps slots partially aggregated — and
+  // vulnerable — when the wipe hits.
+  {
+    core::HierarchyConfig hcfg;
+    hcfg.racks = 2;
+    hcfg.workers_per_rack = 4;
+    hcfg.timing_only = true;
+    hcfg.faults.stragglers.push_back({0, 16.0, 0, -1});
+    core::HierarchicalCluster clean_h(hcfg);
+    const auto clean_tats = clean_h.reduce_timing(scale.tensor_elems);
+    Time clean_max = 0;
+    for (Time t : clean_tats) clean_max = std::max(clean_max, t);
+
+    hcfg.faults.switch_restarts.push_back({1, clean_max / 2}); // leaf 0
+    core::HierarchicalCluster faulted(hcfg);
+    ScopedTimeline scoped(&timeline_req, faulted.simulation(), faulted.metrics(),
+                          "hierarchy-restart");
+    const auto tats = faulted.reduce_timing(scale.tensor_elems);
+    scoped.finish_and_write();
+    Time max_tat = 0;
+    for (Time t : tats) max_tat = std::max(max_tat, t);
+    sidecar.record("hierarchy-restart", faulted.metrics());
+    const double inflation = static_cast<double>(max_tat) / static_cast<double>(clean_max);
+    std::printf("hierarchy failover (2 racks x 4 workers, 16x straggler, leaf-0 restart at TAT/2):\n"
+                "  no restart %s -> restart %s (%.2fx), restarts=%llu\n\n",
+                format_duration(clean_max).c_str(), format_duration(max_tat).c_str(), inflation,
+                static_cast<unsigned long long>(faulted.leaf(0).counters().restarts));
+    report.add("hierarchy-clean.tat_max_ms", to_msec(clean_max));
+    report.add("hierarchy-restart.tat_max_ms", to_msec(max_tat));
+    report.add("hierarchy-restart.restarts",
+               static_cast<double>(faulted.leaf(0).counters().restarts));
+  }
+
+  const std::string trace_path = "fault_sweep_trace.json";
+  sink->write_chrome_json(trace_path);
+  std::printf("fault trace (Perfetto / chrome://tracing): %s (%zu events, %llu dropped)\n",
+              trace_path.c_str(), sink->events().size(),
+              static_cast<unsigned long long>(sink->total_drops()));
+  const std::string written = sidecar.write();
+  if (!written.empty()) std::printf("telemetry sidecar: %s\n", written.c_str());
+  const std::string rep = report.write();
+  if (!rep.empty()) std::printf("bench report: %s\n", rep.c_str());
+  return 0;
+}

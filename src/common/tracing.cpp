@@ -16,7 +16,8 @@ TraceSink*& ambient_sink() {
   return current;
 }
 
-constexpr const char* kCategoryNames[kCategoryCount] = {"switch", "worker", "link", "transport"};
+constexpr const char* kCategoryNames[kCategoryCount] = {"switch", "worker", "link", "transport",
+                                                        "fault"};
 
 // Index of the lowest set bit; events carry exactly one category bit.
 int cat_index(unsigned cat) {

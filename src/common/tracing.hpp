@@ -35,13 +35,14 @@ inline constexpr unsigned kCatSwitch = 1u << 0;    // slot claim/aggregate/compl
 inline constexpr unsigned kCatWorker = 1u << 1;    // send/recv/retransmit/timeout
 inline constexpr unsigned kCatLink = 1u << 2;      // enqueue/deliver/drop
 inline constexpr unsigned kCatTransport = 1u << 3; // reliable-transport segments/acks
-inline constexpr unsigned kCatAll = 0xFu;
-inline constexpr unsigned kCategoryCount = 4;
+inline constexpr unsigned kCatFault = 1u << 4;     // fault injection: flaps/stragglers/restarts
+inline constexpr unsigned kCatAll = 0x1Fu;
+inline constexpr unsigned kCategoryCount = 5;
 
 // Compile-time category mask. Building with -DSWITCHML_TRACE_MASK=0 removes
 // every instrumentation point from the binary.
 #ifndef SWITCHML_TRACE_MASK
-#define SWITCHML_TRACE_MASK 0xFu
+#define SWITCHML_TRACE_MASK 0x1Fu
 #endif
 inline constexpr unsigned kCompiledMask = SWITCHML_TRACE_MASK;
 

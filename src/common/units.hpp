@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 namespace switchml {
@@ -34,12 +35,20 @@ using BitsPerSecond = std::int64_t;
 constexpr BitsPerSecond kGbps = 1'000'000'000;
 constexpr BitsPerSecond gbps(std::int64_t n) { return n * kGbps; }
 
-// Time to serialize `bytes` onto a link of rate `bps`, rounded up so that a
-// nonzero transfer always takes nonzero simulated time.
-constexpr Time serialization_time(std::int64_t bytes, BitsPerSecond bps) {
-  if (bytes <= 0 || bps <= 0) return 0;
-  const std::int64_t bits = bytes * 8;
+// Time to clock `bits` onto a link of rate `bps`, rounded up so that a
+// nonzero transfer always takes nonzero simulated time. A non-positive rate
+// is a modeling error, not an infinitely fast link: a dead link must be
+// expressed as Link::set_down(), never as rate 0.
+constexpr Time wire_time_bits(std::int64_t bits, BitsPerSecond bps) {
+  if (bits <= 0) return 0;
+  if (bps <= 0)
+    throw std::invalid_argument("wire_time_bits: link rate must be positive (use set_down)");
   return (bits * kSecond + bps - 1) / bps;
+}
+
+// Time to serialize `bytes` onto a link of rate `bps`.
+constexpr Time serialization_time(std::int64_t bytes, BitsPerSecond bps) {
+  return wire_time_bits(bytes <= 0 ? 0 : bytes * 8, bps);
 }
 
 constexpr std::int64_t kKiB = 1024;

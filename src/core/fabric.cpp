@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fault.hpp"
+
 namespace switchml::core {
 
 namespace {
@@ -43,10 +45,14 @@ void validate(const FabricConfig& config) {
 
 Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
   validate(config_);
-  // Everything constructed while the builder runs registers its counters.
+  // Everything constructed while the builder runs registers its counters —
+  // including the fault injector, whose plan needs the built nodes/links.
   MetricsRegistry::Scope scope(&metrics_);
   TopologyBuilder(*this).build();
+  if (!config_.faults.empty()) faults_ = std::make_unique<FaultInjector>(*this, config_.faults);
 }
+
+Fabric::~Fabric() = default;
 
 void Fabric::set_loss_prob(double p) {
   for (auto& l : links_) l->set_loss_prob(p);

@@ -21,12 +21,15 @@
 
 #include "common/metrics.hpp"
 #include "common/stats.hpp"
+#include "core/fault_plan.hpp"
 #include "core/profiles.hpp"
 #include "net/link.hpp"
 #include "switchml_switch/aggregation_switch.hpp"
 #include "worker/worker.hpp"
 
 namespace switchml::core {
+
+class FaultInjector;
 
 // Link/NIC/protocol parameters shared by every topology. Fields that only one
 // deployment exercises (e.g. `sram_budget_bytes` for tenancy, the ablation
@@ -59,6 +62,10 @@ struct FabricParams {
   bool lossless = false;
   // §6 tenancy: dataplane SRAM available for aggregation state.
   std::size_t sram_budget_bytes = 4 * kMiB;
+  // Deterministic fault schedule (stragglers, link flaps, loss bursts, switch
+  // restarts) executed by a FaultInjector the fabric constructs when the plan
+  // is non-empty. See core/fault_plan.hpp for the time semantics.
+  FaultPlan faults;
 };
 
 // --- topology shapes ---------------------------------------------------------
@@ -105,6 +112,7 @@ struct FabricConfig : FabricParams {
 class Fabric {
 public:
   explicit Fabric(FabricConfig config);
+  ~Fabric(); // out of line: FaultInjector is incomplete here
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -135,6 +143,9 @@ public:
   // Attaches a packet tracer to every link and returns it.
   net::Tracer& enable_tracing();
 
+  // The fault injector executing config().faults; null when the plan is empty.
+  [[nodiscard]] FaultInjector* fault_injector() { return faults_.get(); }
+
   // Runs one timing-only aggregation of `total_elems` elements on all
   // workers and returns each worker's tensor aggregation time (TAT, §5.1).
   std::vector<Time> reduce_timing(std::uint64_t total_elems);
@@ -163,6 +174,7 @@ private:
   std::vector<std::unique_ptr<worker::Worker>> workers_;
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<net::Tracer> tracer_;
+  std::unique_ptr<FaultInjector> faults_;
   int n_jobs_ = 1;
   int workers_per_job_ = 0;
 };

@@ -1,0 +1,168 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/metrics.hpp"
+#include "common/tracing.hpp"
+#include "core/fabric.hpp"
+
+namespace switchml::core {
+
+FaultInjector::FaultInjector(Fabric& fabric, const FaultPlan& plan) : f_(fabric), plan_(plan) {
+  validate();
+  if (auto* reg = MetricsRegistry::current()) {
+    reg->add_gauge("fault.links_down",
+                   [this] { return static_cast<std::int64_t>(links_down()); });
+    reg->add_gauge("fault.active_stragglers",
+                   [this] { return static_cast<std::int64_t>(active_stragglers_); });
+    reg->add_counter("fault.flaps_applied", [this] { return counters_.flaps_applied; });
+    reg->add_counter("fault.restarts_applied", [this] { return counters_.restarts_applied; });
+    reg->add_counter("fault.straggler_windows", [this] { return counters_.straggler_windows; });
+  }
+
+  apply_bursts();
+  auto& sim = f_.simulation();
+  for (const StragglerSpec& s : plan_.stragglers) arm_straggler(s);
+  for (const LinkFlapSpec& s : plan_.flaps) arm_flap(s);
+  for (std::size_t i = 0; i < plan_.flap_cycles.size(); ++i) arm_cycle(i);
+  for (const SwitchRestartSpec& s : plan_.switch_restarts) {
+    sim.schedule_daemon_timer(s.at, [this, s] {
+      f_.switch_at(s.switch_index).restart();
+      ++counters_.restarts_applied;
+    });
+  }
+}
+
+void FaultInjector::validate() const {
+  const auto n_workers = f_.n_workers();
+  const auto n_links = f_.n_links();
+  const auto n_switches = f_.n_switches();
+  for (const StragglerSpec& s : plan_.stragglers) {
+    if (s.worker < 0 || s.worker >= n_workers)
+      throw std::invalid_argument("FaultPlan: straggler worker out of range");
+    if (s.factor <= 0.0) throw std::invalid_argument("FaultPlan: straggler factor must be > 0");
+    if (s.start < 0 || (s.stop >= 0 && s.stop <= s.start))
+      throw std::invalid_argument("FaultPlan: straggler window must have stop > start >= 0");
+  }
+  for (const LinkFlapSpec& s : plan_.flaps) {
+    if (s.link >= n_links) throw std::invalid_argument("FaultPlan: flap link out of range");
+    if (s.down_at < 0 || s.up_at <= s.down_at)
+      throw std::invalid_argument("FaultPlan: flap needs up_at > down_at >= 0");
+  }
+  for (const LinkFlapCycleSpec& s : plan_.flap_cycles) {
+    if (s.link >= n_links)
+      throw std::invalid_argument("FaultPlan: flap-cycle link out of range");
+    if (s.period <= 0 || s.duty_down <= 0.0 || s.duty_down >= 1.0)
+      throw std::invalid_argument("FaultPlan: flap cycle needs period > 0, duty in (0, 1)");
+    if (s.start < 0 || s.cycles < 0)
+      throw std::invalid_argument("FaultPlan: flap cycle needs start >= 0, cycles >= 0");
+  }
+  for (const BurstLossSpec& s : plan_.bursts) {
+    if (s.link >= 0 && static_cast<std::size_t>(s.link) >= n_links)
+      throw std::invalid_argument("FaultPlan: burst link out of range");
+  }
+  for (const SwitchRestartSpec& s : plan_.switch_restarts) {
+    if (s.switch_index >= n_switches)
+      throw std::invalid_argument("FaultPlan: switch restart index out of range");
+    if (s.at < 0) throw std::invalid_argument("FaultPlan: switch restart time must be >= 0");
+  }
+  if (f_.config().lossless &&
+      !(plan_.flaps.empty() && plan_.flap_cycles.empty() && plan_.bursts.empty() &&
+        plan_.switch_restarts.empty()))
+    throw std::invalid_argument(
+        "FaultPlan: lossless mode has no recovery machinery — only stragglers can be injected");
+}
+
+int FaultInjector::links_down() const {
+  int n = 0;
+  for (std::size_t i = 0; i < f_.n_links(); ++i)
+    if (f_.link(i).is_down()) ++n;
+  return n;
+}
+
+void FaultInjector::apply_bursts() {
+  for (const BurstLossSpec& s : plan_.bursts) {
+    if (s.link >= 0) {
+      f_.link(static_cast<std::size_t>(s.link)).set_burst_loss(s.gilbert);
+    } else {
+      for (std::size_t i = 0; i < f_.n_links(); ++i) f_.link(i).set_burst_loss(s.gilbert);
+    }
+  }
+}
+
+void FaultInjector::straggler_on(const StragglerSpec& s) {
+  worker::Worker& w = f_.worker(s.worker);
+  w.nic().set_slowdown(s.factor);
+  ++counters_.straggler_windows;
+  ++active_stragglers_;
+  trace::emit(trace::kCatFault, f_.simulation().now(), w.id(), "straggler_on",
+              {"factor_x100", static_cast<std::int64_t>(s.factor * 100)});
+}
+
+void FaultInjector::arm_straggler(const StragglerSpec& s) {
+  auto& sim = f_.simulation();
+  if (s.start <= sim.now()) {
+    // Workers send their first burst synchronously from start_reduction, so a
+    // t=0 straggler must be in force before any event runs.
+    straggler_on(s);
+  } else {
+    sim.schedule_daemon_timer(s.start - sim.now(), [this, s] { straggler_on(s); });
+  }
+  if (s.stop >= 0) {
+    // The restore is a LIVE event: a slowdown window always closes, even if
+    // the live work drains first (the clock jump is harmless by then).
+    sim.schedule_at(s.stop, [this, s] {
+      worker::Worker& w = f_.worker(s.worker);
+      w.nic().set_slowdown(1.0);
+      --active_stragglers_;
+      trace::emit(trace::kCatFault, f_.simulation().now(), w.id(), "straggler_off");
+    });
+  }
+}
+
+void FaultInjector::arm_flap(const LinkFlapSpec& s) {
+  auto& sim = f_.simulation();
+  sim.schedule_daemon_timer(s.down_at - sim.now(), [this, s] {
+    f_.link(s.link).set_down();
+    ++counters_.flaps_applied;
+  });
+  // Like straggler stops, the up event is live so a down is always paired.
+  sim.schedule_at(s.up_at, [this, s] { f_.link(s.link).set_up(); });
+}
+
+Time FaultInjector::cycle_down_for(std::size_t index) const {
+  const LinkFlapCycleSpec& c = plan_.flap_cycles[index];
+  const auto down = static_cast<Time>(static_cast<double>(c.period) * c.duty_down);
+  return std::max<Time>(down, 1);
+}
+
+void FaultInjector::arm_cycle(std::size_t index) {
+  const LinkFlapCycleSpec& c = plan_.flap_cycles[index];
+  auto& sim = f_.simulation();
+  sim.schedule_daemon_timer(c.start - sim.now(), [this, index] { cycle_down(index, 0); });
+}
+
+void FaultInjector::cycle_down(std::size_t index, int done) {
+  const LinkFlapCycleSpec& c = plan_.flap_cycles[index];
+  f_.link(c.link).set_down();
+  ++counters_.flaps_applied;
+  auto& sim = f_.simulation();
+  sim.schedule_at(sim.now() + cycle_down_for(index),
+                  [this, index, done] { cycle_up(index, done + 1); });
+}
+
+void FaultInjector::cycle_up(std::size_t index, int done) {
+  const LinkFlapCycleSpec& c = plan_.flap_cycles[index];
+  f_.link(c.link).set_up();
+  auto& sim = f_.simulation();
+  if (c.cycles > 0 && done >= c.cycles) return;
+  // Open-ended cycles re-arm only while live (non-daemon) work remains, so
+  // Simulation::run() always drains.
+  if (c.cycles == 0 && sim.live_pending_events() == 0) return;
+  sim.schedule_daemon_timer(c.period - cycle_down_for(index),
+                            [this, index, done] { cycle_down(index, done); });
+}
+
+} // namespace switchml::core

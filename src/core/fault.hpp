@@ -1,0 +1,60 @@
+// FaultInjector: executes a FaultPlan against a built Fabric.
+//
+// Deterministic and sim-clock-driven: every fault event is scheduled at
+// construction from the plan's absolute times (the only randomness — the
+// Gilbert-Elliott burst chains — draws from per-link RNG streams derived
+// from the fabric seed, so same seed + same plan gives bit-identical runs).
+// Fault events are daemon events: a schedule extending past the end of the
+// real work never keeps a reduction from quiescing, and every down/slowdown
+// transition schedules its matching restore so no fault outlives the run.
+//
+// Observability: registers fault.* gauges/counters into the ambient
+// MetricsRegistry (links_down, active_stragglers, flaps/restarts applied)
+// and emits kCatFault trace events for straggler windows; links and switches
+// emit their own link_down/link_up/switch_restart/burst_begin events.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/fault_plan.hpp"
+
+namespace switchml::core {
+
+class Fabric;
+
+class FaultInjector {
+public:
+  // Validates the plan against the fabric shape (throws std::invalid_argument
+  // on out-of-range indices or nonsensical times) and schedules every event.
+  FaultInjector(Fabric& fabric, const FaultPlan& plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  struct Counters {
+    std::uint64_t flaps_applied = 0;     // down transitions (one-shot + cycles)
+    std::uint64_t restarts_applied = 0;  // switch dataplane wipes
+    std::uint64_t straggler_windows = 0; // straggler-on transitions
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] int links_down() const;
+  [[nodiscard]] int active_stragglers() const { return active_stragglers_; }
+
+private:
+  void validate() const;
+  void apply_bursts();
+  void arm_straggler(const StragglerSpec& s);
+  void arm_flap(const LinkFlapSpec& s);
+  void arm_cycle(std::size_t index);
+  void straggler_on(const StragglerSpec& s);
+  void cycle_down(std::size_t index, int done);
+  void cycle_up(std::size_t index, int done);
+  [[nodiscard]] Time cycle_down_for(std::size_t index) const;
+
+  Fabric& f_;
+  FaultPlan plan_;
+  Counters counters_;
+  int active_stragglers_ = 0;
+};
+
+} // namespace switchml::core

@@ -16,6 +16,8 @@ const char* trace_name(TraceEventKind kind) {
     case TraceEventKind::Tx: return "enqueue";
     case TraceEventKind::DropQueue: return "drop_queue";
     case TraceEventKind::DropLoss: return "drop_loss";
+    case TraceEventKind::DropDown: return "drop_down";
+    case TraceEventKind::DropBurst: return "drop_burst";
     case TraceEventKind::Corrupt: return "corrupt";
     case TraceEventKind::Deliver: return "deliver";
   }
@@ -28,12 +30,11 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
            Node& end_b, int port_b, std::uint64_t seed)
     : sim_(simulation),
       config_(config),
+      seed_(seed),
       end_a_(&end_a),
       end_b_(&end_b),
-      a_to_b_{&end_b, port_b, 0, 0, {}, {},
-              sim::Rng::stream(seed, end_a.name() + "->" + end_b.name()), {}},
-      b_to_a_{&end_a, port_a, 0, 0, {}, {},
-              sim::Rng::stream(seed, end_b.name() + "->" + end_a.name()), {}} {
+      a_to_b_{&end_b, port_b, sim::Rng::stream(seed, end_a.name() + "->" + end_b.name())},
+      b_to_a_{&end_a, port_a, sim::Rng::stream(seed, end_b.name() + "->" + end_a.name())} {
   if (config.rate <= 0) throw std::invalid_argument("Link rate must be positive");
 
   if (auto* reg = MetricsRegistry::current()) {
@@ -44,13 +45,16 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
       reg->add_counter(prefix + "delivered_packets", [&c] { return c.delivered_packets; });
       reg->add_counter(prefix + "dropped_queue", [&c] { return c.dropped_queue; });
       reg->add_counter(prefix + "dropped_loss", [&c] { return c.dropped_loss; });
+      reg->add_counter(prefix + "dropped_down", [&c] { return c.dropped_down; });
+      reg->add_counter(prefix + "dropped_burst", [&c] { return c.dropped_burst; });
+      reg->add_counter(prefix + "burst_entries", [&c] { return c.burst_entries; });
       // Occupancy is tracked lazily (drained on send), so recompute from the
       // in-flight ledger instead of trusting backlog_bytes.
       reg->add_gauge(prefix + "queue_bytes", [this, &dir] {
         const Time now = sim_.now();
         std::int64_t bytes = 0;
-        for (const auto& [finish, b] : dir.in_flight)
-          if (finish > now) bytes += b;
+        for (const InFlight& rec : dir.in_flight)
+          if (rec.finish > now) bytes += rec.bytes;
         return bytes;
       });
       reg->add_histogram(prefix + "queue_wait_ns", &dir.queue_wait_ns);
@@ -64,6 +68,10 @@ Link::Direction& Link::direction_from(const Node& sender) {
   if (&sender == end_a_) return a_to_b_;
   if (&sender == end_b_) return b_to_a_;
   throw std::invalid_argument("Link::send_from: sender is not an endpoint of this link");
+}
+
+const Node& Link::from_of(const Direction& dir) const {
+  return dir.to == end_b_ ? *end_a_ : *end_b_;
 }
 
 const Link::Counters& Link::counters_from(const Node& sender) const {
@@ -109,16 +117,122 @@ void Link::corrupt(Packet& p) {
     p.off ^= 0x1;
 }
 
+void Link::set_rate(BitsPerSecond rate) {
+  if (rate <= 0)
+    throw std::invalid_argument(
+        "Link::set_rate: rate must be positive (a dead link is set_down(), not rate 0)");
+  if (rate == config_.rate) return;
+  const BitsPerSecond old_rate = config_.rate;
+  config_.rate = rate;
+  replan(a_to_b_, old_rate);
+  replan(b_to_a_, old_rate);
+}
+
+void Link::replan(Direction& dir, BitsPerSecond old_rate) {
+  const Time now = sim_.now();
+  Time prev_finish = -1;
+  for (InFlight& rec : dir.in_flight) {
+    if (rec.finish <= now) continue; // fully serialized; only propagation remains
+    Time start = rec.start;
+    if (prev_finish >= 0 && start < prev_finish) start = prev_finish;
+    std::int64_t bits_left = rec.bytes * 8;
+    if (start < now) {
+      // Mid-serialization: bits already clocked out at the old rate stay out.
+      const auto done = static_cast<std::int64_t>(static_cast<__int128>(now - start) *
+                                                  old_rate / kSecond);
+      bits_left = std::max<std::int64_t>(bits_left - done, 0);
+      start = now;
+    }
+    const Time finish = start + wire_time_bits(bits_left, config_.rate);
+    rec.start = start;
+    rec.finish = finish;
+    prev_finish = finish;
+
+    const auto pit = std::find_if(dir.pending.begin(), dir.pending.end(),
+                                  [&rec](const PendingDelivery& p) { return p.seq == rec.seq; });
+    if (pit != dir.pending.end()) { // absent when the packet was dropped in flight
+      const Time at = finish + config_.propagation;
+      if (at < pit->deliver_at) {
+        // Moved earlier: the already-scheduled event would fire too late, so
+        // chase with a second event. Whichever pops first (on time) delivers;
+        // the other finds no entry and is inert.
+        sim_.schedule_at(at, [this, dirp = &dir, seq = rec.seq] { deliver_event(*dirp, seq); });
+      }
+      pit->deliver_at = at;
+    }
+  }
+  if (prev_finish >= 0) dir.busy_until = prev_finish;
+}
+
+void Link::set_down() {
+  if (down_) return;
+  down_ = true;
+  const Time now = sim_.now();
+  for (Direction* d : {&a_to_b_, &b_to_a_}) {
+    for (const PendingDelivery& pd : d->pending) {
+      ++d->counters.dropped_down;
+      trace(TraceEventKind::DropDown, from_of(*d), *d->to, pd.pkt);
+    }
+    d->pending.clear();
+    d->in_flight.clear();
+    d->backlog_bytes = 0;
+    d->busy_until = std::min(d->busy_until, now); // the port is idle when it comes back
+  }
+  switchml::trace::emit(switchml::trace::kCatFault, now, end_a_->id(), "link_down",
+                        {"peer", end_b_->id()});
+}
+
+void Link::set_up() {
+  if (!down_) return;
+  down_ = false;
+  switchml::trace::emit(switchml::trace::kCatFault, sim_.now(), end_a_->id(), "link_up",
+                        {"peer", end_b_->id()});
+}
+
+void Link::set_burst_loss(const BurstLossConfig& cfg) {
+  for (double p : {cfg.p_enter, cfg.p_exit, cfg.loss_good, cfg.loss_bad})
+    if (p < 0.0 || p > 1.0)
+      throw std::invalid_argument("Link::set_burst_loss: probabilities must be in [0, 1]");
+  burst_ = cfg;
+  if (!a_to_b_.burst_rng)
+    a_to_b_.burst_rng =
+        sim::Rng::stream(seed_, end_a_->name() + "->" + end_b_->name() + ".burst");
+  if (!b_to_a_.burst_rng)
+    b_to_a_.burst_rng =
+        sim::Rng::stream(seed_, end_b_->name() + "->" + end_a_->name() + ".burst");
+}
+
+void Link::deliver_event(Direction& dir, std::uint64_t seq) {
+  const auto it = std::find_if(dir.pending.begin(), dir.pending.end(),
+                               [seq](const PendingDelivery& p) { return p.seq == seq; });
+  if (it == dir.pending.end()) return; // killed by set_down, or a twin already delivered
+  if (it->deliver_at > sim_.now()) {
+    // A mid-run slowdown pushed this delivery later; chase the new time.
+    sim_.schedule_at(it->deliver_at, [this, dirp = &dir, seq] { deliver_event(*dirp, seq); });
+    return;
+  }
+  PendingDelivery d = std::move(*it);
+  dir.pending.erase(it);
+  ++dir.counters.delivered_packets;
+  trace(TraceEventKind::Deliver, from_of(dir), *dir.to, d.pkt);
+  dir.to->receive(std::move(d.pkt), dir.to_port);
+}
+
 void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start) {
   const Time now = sim_.now();
+  Node& peer = *dir.to;
+  if (down_) {
+    ++dir.counters.dropped_down;
+    trace(TraceEventKind::DropDown, sender, peer, p);
+    return;
+  }
   // Drain completed serializations from the lazy backlog ledger.
-  while (!dir.in_flight.empty() && dir.in_flight.front().first <= now) {
-    dir.backlog_bytes -= dir.in_flight.front().second;
+  while (!dir.in_flight.empty() && dir.in_flight.front().finish <= now) {
+    dir.backlog_bytes -= dir.in_flight.front().bytes;
     dir.in_flight.pop_front();
   }
 
   const std::int64_t wire = p.wire_bytes();
-  Node& peer = *dir.to;
   if (dir.backlog_bytes + wire > config_.queue_limit_bytes) {
     ++dir.counters.dropped_queue;
     trace(TraceEventKind::DropQueue, sender, peer, p);
@@ -134,7 +248,8 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
   const Time finish = start + serialization_time(wire, config_.rate);
   dir.busy_until = finish;
   dir.backlog_bytes += wire;
-  dir.in_flight.emplace_back(finish, wire);
+  const std::uint64_t seq = dir.next_seq++;
+  dir.in_flight.push_back({seq, start, finish, wire});
 
   if (dir.rng.chance(config_.loss_prob) || (drop_filter_ && drop_filter_(sender, p))) {
     ++dir.counters.dropped_loss;
@@ -142,22 +257,31 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
     return; // the bits left the port but never arrive
   }
 
+  if (burst_) {
+    // Advance the Gilbert-Elliott chain, then sample the state's loss rate.
+    if (dir.burst_bad) {
+      if (dir.burst_rng->chance(burst_->p_exit)) dir.burst_bad = false;
+    } else if (dir.burst_rng->chance(burst_->p_enter)) {
+      dir.burst_bad = true;
+      ++dir.counters.burst_entries;
+      switchml::trace::emit(switchml::trace::kCatFault, now, sender.id(), "burst_begin",
+                            {"to", peer.id()});
+    }
+    if (dir.burst_rng->chance(dir.burst_bad ? burst_->loss_bad : burst_->loss_good)) {
+      ++dir.counters.dropped_burst;
+      trace(TraceEventKind::DropBurst, sender, peer, p);
+      return;
+    }
+  }
+
   if (dir.rng.chance(corrupt_prob_) || (corrupt_filter_ && corrupt_filter_(sender, p))) {
     corrupt(p);
     trace(TraceEventKind::Corrupt, sender, peer, p);
   }
 
-  Node* to = dir.to;
-  const int to_port = dir.to_port;
-  Counters* counters = &dir.counters;
-  const Node* from = &sender;
-  Link* self = this;
+  dir.pending.push_back({seq, finish + config_.propagation, std::move(p)});
   sim_.schedule_at(finish + config_.propagation,
-                   [self, from, to, to_port, counters, pkt = std::move(p)]() mutable {
-                     ++counters->delivered_packets;
-                     self->trace(TraceEventKind::Deliver, *from, *to, pkt);
-                     to->receive(std::move(pkt), to_port);
-                   });
+                   [this, dirp = &dir, seq] { deliver_event(*dirp, seq); });
 }
 
 } // namespace switchml::net

@@ -3,14 +3,19 @@
 // the paper's §5.5 packet-loss experiments).
 //
 // The serialization model keeps exactly one simulator event per delivered
-// packet: queue occupancy is tracked lazily with a deque of
-// (serialization-finish-time, bytes) records drained on each send.
+// packet: queue occupancy is tracked lazily with a deque of in-flight
+// serialization records drained on each send. Deliveries are keyed by a
+// per-direction sequence number so mid-run mutations can retarget them:
+// `set_rate` re-plans every unfinished serialization (bits already clocked
+// out at the old rate stay out) and `set_down` kills everything undelivered —
+// a downed link delivers nothing, ever, for its down interval.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "common/histogram.hpp"
 #include "net/node.hpp"
@@ -28,6 +33,19 @@ struct LinkConfig {
   double loss_prob = 0.0;
 };
 
+// Two-state Gilbert-Elliott loss process: per packet the chain first moves
+// (good->bad with p_enter, bad->good with p_exit), then the packet is dropped
+// with the current state's loss probability. The stationary loss rate is
+// loss_bad * p_enter / (p_enter + p_exit) + loss_good * p_exit / (p_enter +
+// p_exit) — matched-average comparisons against the Bernoulli process are how
+// fault_sweep shows burstiness (not just rate) drives RTO stalls.
+struct BurstLossConfig {
+  double p_enter = 0.0;   // good -> bad transition probability per packet
+  double p_exit = 0.1;    // bad -> good transition probability per packet
+  double loss_good = 0.0; // drop probability in the good state
+  double loss_bad = 0.5;  // drop probability in the bad state
+};
+
 class Link {
 public:
   struct Counters {
@@ -36,6 +54,9 @@ public:
     std::uint64_t delivered_packets = 0;
     std::uint64_t dropped_queue = 0;
     std::uint64_t dropped_loss = 0;
+    std::uint64_t dropped_down = 0;  // sent into (or in flight across) a downed link
+    std::uint64_t dropped_burst = 0; // Gilbert-Elliott burst-loss drops
+    std::uint64_t burst_entries = 0; // good->bad transitions of the burst chain
   };
 
   Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, int port_a,
@@ -49,9 +70,31 @@ public:
   [[nodiscard]] const Counters& counters_from(const Node& sender) const;
   [[nodiscard]] const LinkConfig& config() const { return config_; }
   void set_loss_prob(double p) { config_.loss_prob = p; }
-  // Degrades/changes the link rate mid-run (congestion & straggler
-  // experiments, §6 "Lack of congestion control").
-  void set_rate(BitsPerSecond rate) { config_.rate = rate; }
+
+  // Changes the link rate mid-run (congestion & straggler experiments, §6
+  // "Lack of congestion control"). Every unfinished serialization is
+  // re-planned at the new rate: bits already clocked out at the old rate stay
+  // out, the remainder continues at the new rate, and queued packets chain
+  // after the re-planned finish times. Starts never move earlier than
+  // originally planned; finishes (and deliveries) may. Throws for rate <= 0 —
+  // a dead link is set_down(), not rate 0.
+  void set_rate(BitsPerSecond rate);
+
+  // Administrative link state (fault injection). Taking the link down drops
+  // every packet currently serializing or propagating, in both directions,
+  // and everything sent while down: the down interval delivers zero packets.
+  // Bringing it back up resumes normal service from an idle port.
+  void set_down();
+  void set_up();
+  [[nodiscard]] bool is_down() const { return down_; }
+
+  // Enables/disables the Gilbert-Elliott burst-loss process on both
+  // directions (applied on top of the Bernoulli process). Each direction's
+  // chain draws from its own RNG stream, so enabling bursts never perturbs
+  // the Bernoulli loss draws.
+  void set_burst_loss(const BurstLossConfig& cfg);
+  void clear_burst_loss() { burst_.reset(); }
+  [[nodiscard]] bool burst_loss_enabled() const { return burst_.has_value(); }
 
   // Deterministic loss injection for tests and trace replay (e.g. the
   // Appendix A execution): returns true to drop the packet. Applied in
@@ -73,12 +116,37 @@ public:
   [[nodiscard]] Node& peer_of(const Node& n);
 
 private:
+  // One serialization occupying the port: [start, finish) at the rate in
+  // force when it was (last) planned.
+  struct InFlight {
+    std::uint64_t seq = 0;
+    Time start = 0;
+    Time finish = 0;
+    std::int64_t bytes = 0;
+  };
+  // One delivery the simulator holds an event for. `deliver_at` is
+  // authoritative: set_rate may move it after the event was scheduled, and
+  // the event that pops re-checks it (rescheduling itself if it fired early,
+  // ignoring itself if the entry is gone — killed by set_down or already
+  // delivered by a rescheduled twin).
+  struct PendingDelivery {
+    std::uint64_t seq = 0;
+    Time deliver_at = 0;
+    Packet pkt;
+  };
+
   struct Direction {
-    Node* to = nullptr;
-    int to_port = 0;
+    Direction(Node* to, int to_port, sim::Rng rng)
+        : to(to), to_port(to_port), rng(std::move(rng)) {}
+    Node* to;
+    int to_port;
     Time busy_until = 0;
     std::int64_t backlog_bytes = 0;
-    std::deque<std::pair<Time, std::int64_t>> in_flight; // (finish, bytes)
+    std::deque<InFlight> in_flight;
+    std::deque<PendingDelivery> pending;
+    std::uint64_t next_seq = 0;
+    bool burst_bad = false;                // Gilbert-Elliott chain state
+    std::optional<sim::Rng> burst_rng;     // own stream; absent until bursts enabled
     Counters counters;
     sim::Rng rng;
     // Time each packet waited behind earlier serializations before its own
@@ -87,7 +155,10 @@ private:
   };
 
   Direction& direction_from(const Node& sender);
+  [[nodiscard]] const Node& from_of(const Direction& dir) const;
   void transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start);
+  void deliver_event(Direction& dir, std::uint64_t seq);
+  void replan(Direction& dir, BitsPerSecond old_rate);
   static void corrupt(Packet& p);
   void trace(TraceEventKind kind, const Node& from, const Node& to, const Packet& p);
 
@@ -95,9 +166,12 @@ private:
   DropFilter corrupt_filter_;
   double corrupt_prob_ = 0.0;
   Tracer* tracer_ = nullptr;
+  std::optional<BurstLossConfig> burst_;
+  bool down_ = false;
 
   sim::Simulation& sim_;
   LinkConfig config_;
+  std::uint64_t seed_;
   Node* end_a_;
   Node* end_b_;
   Direction a_to_b_;

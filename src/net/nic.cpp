@@ -12,9 +12,16 @@ HostNic::HostNic(sim::Simulation& simulation, const NicConfig& config)
   busy_.assign(static_cast<std::size_t>(config.cores), 0);
 }
 
+void HostNic::set_slowdown(double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("HostNic::set_slowdown: factor must be > 0");
+  slowdown_ = factor;
+}
+
 Time HostNic::effective_cost(Time per_packet, double per_byte, std::int64_t bytes) const {
-  return per_packet + static_cast<Time>(per_byte * static_cast<double>(bytes)) +
-         config_.per_batch_overhead / config_.batch_size;
+  const Time base = per_packet + static_cast<Time>(per_byte * static_cast<double>(bytes)) +
+                    config_.per_batch_overhead / config_.batch_size;
+  if (slowdown_ == 1.0) return base;
+  return static_cast<Time>(static_cast<double>(base) * slowdown_);
 }
 
 Time HostNic::occupy(int core, Time cost) {

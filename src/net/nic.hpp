@@ -55,6 +55,12 @@ public:
 
   [[nodiscard]] const NicConfig& config() const { return config_; }
 
+  // Straggler emulation (fault injection): stretches every per-packet /
+  // per-byte CPU cost by `factor` from now on. 1.0 restores normal speed and
+  // is exactly cost-neutral (no rounding through the multiplier).
+  void set_slowdown(double factor);
+  [[nodiscard]] double slowdown() const { return slowdown_; }
+
 private:
   Time effective_cost(Time per_packet, double per_byte, std::int64_t bytes) const;
   Time occupy(int core, Time cost);
@@ -63,6 +69,7 @@ private:
   NicConfig config_;
   std::vector<Time> busy_;
   Time total_busy_ = 0;
+  double slowdown_ = 1.0;
 };
 
 } // namespace switchml::net

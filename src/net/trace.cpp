@@ -10,6 +10,8 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::Tx: return "TX";
     case TraceEventKind::DropQueue: return "DROP-QUEUE";
     case TraceEventKind::DropLoss: return "DROP-LOSS";
+    case TraceEventKind::DropDown: return "DROP-DOWN";
+    case TraceEventKind::DropBurst: return "DROP-BURST";
     case TraceEventKind::Corrupt: return "CORRUPT";
     case TraceEventKind::Deliver: return "DELIVER";
   }

@@ -15,7 +15,15 @@
 
 namespace switchml::net {
 
-enum class TraceEventKind : std::uint8_t { Tx, DropQueue, DropLoss, Corrupt, Deliver };
+enum class TraceEventKind : std::uint8_t {
+  Tx,
+  DropQueue,
+  DropLoss,
+  DropDown,  // link was administratively down (fault injection)
+  DropBurst, // Gilbert-Elliott burst-loss process
+  Corrupt,
+  Deliver,
+};
 
 const char* to_string(TraceEventKind k);
 

@@ -47,6 +47,7 @@ AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id
     reg->add_counter(p + "results_from_parent", [this] { return counters_.results_from_parent; });
     reg->add_counter(p + "unknown_job_drops", [this] { return counters_.unknown_job_drops; });
     reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
+    reg->add_counter(p + "restarts", [this] { return counters_.restarts; });
     reg->add_gauge(p + "sram_used_bytes",
                    [this] { return static_cast<std::int64_t>(register_bytes()); });
     reg->add_histogram(p + "slot_dwell_ns", &slot_dwell_ns_);
@@ -118,6 +119,20 @@ bool AggregationSwitch::admit_job(std::uint8_t job, const JobParams& params) {
 }
 
 void AggregationSwitch::evict_job(std::uint8_t job) { jobs_.erase(job); }
+
+void AggregationSwitch::restart() {
+  for (auto& [id, job] : jobs_) {
+    if (job.seen) job.seen->control_plane_fill(0);
+    job.count->control_plane_fill(0);
+    for (auto& arr : job.pool) arr->control_plane_fill(0);
+    std::fill(job.claim_ver.begin(), job.claim_ver.end(), std::uint8_t{255});
+    std::fill(job.claim_at.begin(), job.claim_at.end(), Time{-1});
+    std::fill(job.flip_at.begin(), job.flip_at.end(), Time{-1});
+  }
+  ++counters_.restarts;
+  trace::emit(trace::kCatFault, sim_.now(), id(), "switch_restart",
+              {"jobs", static_cast<std::int64_t>(jobs_.size())});
+}
 
 const quant::Fp16Table& AggregationSwitch::fp16_table() {
   if (!fp16_table_) fp16_table_ = std::make_unique<quant::Fp16Table>(config_.fp16_frac_bits);

@@ -107,6 +107,17 @@ public:
   // from `config`.
   bool admit_job(std::uint8_t job, const JobParams& params);
   void evict_job(std::uint8_t job);
+
+  // Fault injection: a switch restart that wipes the dataplane aggregation
+  // state mid-run — every job's seen bitmaps, mod-n counters, and value pool
+  // are reset out-of-band (control_plane_fill), as if the program was just
+  // reloaded. In-flight packets are unaffected; recovery rides the workers'
+  // retransmission timers re-driving the wiped slots. Note recovery is only
+  // guaranteed while no result packets are concurrently lost: a lost
+  // multicast plus a wiped shadow copy can strand a worker on the old pool
+  // version (the paper's answer there is a control-plane checkpoint, which
+  // this model does not implement).
+  void restart();
   [[nodiscard]] bool has_job(std::uint8_t job) const { return jobs_.count(job) != 0; }
   [[nodiscard]] std::size_t jobs_admitted() const { return jobs_.size(); }
   [[nodiscard]] std::size_t sram_free_bytes() const;
@@ -121,6 +132,7 @@ public:
     std::uint64_t results_from_parent = 0; // root results relayed by a leaf
     std::uint64_t unknown_job_drops = 0;   // packets for unadmitted jobs
     std::uint64_t checksum_drops = 0;      // corrupted updates discarded (§3.4)
+    std::uint64_t restarts = 0;            // fault-injected dataplane wipes
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
