@@ -1,8 +1,11 @@
 #include "core/fabric.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
+#include "collectives/streaming_ps.hpp"
+#include "common/tracing.hpp"
 #include "core/fault.hpp"
 
 namespace switchml::core {
@@ -49,10 +52,124 @@ Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
   // including the fault injector, whose plan needs the built nodes/links.
   MetricsRegistry::Scope scope(&metrics_);
   TopologyBuilder(*this).build();
+  install_recovery();
   if (!config_.faults.empty()) faults_ = std::make_unique<FaultInjector>(*this, config_.faults);
 }
 
 Fabric::~Fabric() = default;
+
+void Fabric::install_recovery() {
+  if (auto* reg = MetricsRegistry::current()) {
+    reg->add_counter("recovery.fallbacks", [this] { return fallbacks_; });
+    reg->add_counter("recovery.fallback_replay_elems",
+                     [this] { return fallback_replay_elems_; });
+  }
+  for (auto& w : workers_) w->set_switch_dead_handler([this] { on_switch_dead(); });
+}
+
+void Fabric::on_switch_dead() {
+  if (fallback_pending_) return;
+  fallback_pending_ = true;
+  // Stop every worker's transmissions so the simulation drains; the pending
+  // reduce_* call picks up the fallback once run() returns.
+  for (auto& w : workers_) w->abort_reduction();
+}
+
+Fabric::FallbackPlan Fabric::collect_fallback_plan(std::uint64_t total_elems) {
+  if (n_jobs_ != 1)
+    throw std::runtime_error(
+        "Fabric: switch declared dead on a multi-job fabric — the streaming-PS fallback "
+        "replays one job's chunks and cannot arbitrate several tenants; rerun the surviving "
+        "jobs on single-job fabrics");
+  FallbackPlan plan;
+  plan.drained_at = sim_.now();
+  for (auto& w : workers_) {
+    const auto offs = w->unconsumed_chunks();
+    plan.offsets.insert(plan.offsets.end(), offs.begin(), offs.end());
+  }
+  std::sort(plan.offsets.begin(), plan.offsets.end());
+  plan.offsets.erase(std::unique(plan.offsets.begin(), plan.offsets.end()),
+                     plan.offsets.end());
+  for (std::uint64_t off : plan.offsets)
+    plan.replay_elems += std::min<std::uint64_t>(config_.elems_per_packet, total_elems - off);
+  ++fallbacks_;
+  fallback_replay_elems_ += plan.replay_elems;
+  trace::emit(trace::kCatFault, sim_.now(), root().id(), "fallback_begin",
+              {"chunks", static_cast<std::int64_t>(plan.offsets.size())},
+              {"elems", static_cast<std::int64_t>(plan.replay_elems)});
+  return plan;
+}
+
+void Fabric::finish_fallback() {
+  for (auto& w : workers_) w->finish_aborted_reduction();
+  fallback_pending_ = false;
+}
+
+namespace {
+collectives::StreamingPsConfig fallback_ps_config(const FabricConfig& c, int n_workers) {
+  collectives::StreamingPsConfig psc;
+  psc.n_workers = n_workers;
+  psc.placement = collectives::StreamingPsPlacement::Dedicated;
+  psc.link_rate = c.link_rate;
+  psc.propagation = c.propagation;
+  psc.queue_limit_bytes = c.queue_limit_bytes;
+  psc.loss_prob = c.loss_prob;
+  psc.pool_size = c.pool_size;
+  psc.elems_per_packet = c.elems_per_packet;
+  psc.retransmit_timeout = c.retransmit_timeout;
+  psc.nic = c.nic;
+  psc.timing_only = c.timing_only;
+  psc.switch_latency = c.switch_latency;
+  psc.seed = c.seed + 9001; // distinct RNG stream for the replay
+  return psc;
+}
+} // namespace
+
+void Fabric::fallback_timing(const std::vector<Time>& start, std::vector<Time>& tat,
+                             std::uint64_t total_elems) {
+  const FallbackPlan plan = collect_fallback_plan(total_elems);
+  collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
+  const std::vector<Time> ps_tat = ps.reduce_timing(plan.replay_elems);
+  for (std::size_t i = 0; i < tat.size(); ++i) {
+    if (tat[i] >= 0) continue; // completed on the switch path before the abort
+    tat[i] = (plan.drained_at - start[i]) + config_.fallback_reprovision + ps_tat[i];
+  }
+  finish_fallback();
+}
+
+void Fabric::fallback_data(const std::vector<std::vector<std::int32_t>>& updates,
+                           const std::vector<Time>& start, DataReduceResult& r) {
+  const std::uint64_t total_elems = updates.empty() ? 0 : updates.front().size();
+  const FallbackPlan plan = collect_fallback_plan(total_elems);
+  // Replay the union of unconsumed chunks, compacted into one contiguous
+  // vector per worker. int32 sums are order-independent and overflow-wrapping,
+  // so the PS result is bit-identical to what the switch would have produced.
+  std::vector<std::vector<std::int32_t>> compact(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    compact[i].reserve(plan.replay_elems);
+    for (std::uint64_t off : plan.offsets) {
+      const auto c = std::min<std::uint64_t>(config_.elems_per_packet, total_elems - off);
+      compact[i].insert(compact[i].end(), updates[i].begin() + static_cast<std::ptrdiff_t>(off),
+                        updates[i].begin() + static_cast<std::ptrdiff_t>(off + c));
+    }
+  }
+  collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
+  auto psr = ps.reduce_i32(compact);
+  for (std::size_t i = 0; i < r.tat.size(); ++i) {
+    if (r.tat[i] >= 0) continue;
+    // Scatter the replayed sums back to their offsets. Chunks this worker DID
+    // consume before the abort are overwritten with the identical value.
+    std::size_t pos = 0;
+    for (std::uint64_t off : plan.offsets) {
+      const auto c = std::min<std::uint64_t>(config_.elems_per_packet, total_elems - off);
+      std::copy_n(psr.outputs[i].begin() + static_cast<std::ptrdiff_t>(pos), c,
+                  r.outputs[i].begin() + static_cast<std::ptrdiff_t>(off));
+      pos += c;
+    }
+    r.tat[i] = (plan.drained_at - start[i]) + config_.fallback_reprovision + psr.tat[i];
+  }
+  finish_fallback();
+}
 
 void Fabric::set_loss_prob(double p) {
   for (auto& l : links_) l->set_loss_prob(p);
@@ -78,6 +195,10 @@ std::vector<Time> Fabric::reduce_timing(std::uint64_t total_elems) {
     });
   }
   sim_.run();
+  if (fallback_pending_) {
+    fallback_timing(start, tat, total_elems);
+    return tat;
+  }
   for (Time t : tat)
     if (t < 0) throw std::runtime_error("Fabric::reduce_timing: reduction did not complete");
   return tat;
@@ -118,6 +239,10 @@ Fabric::DataReduceResult Fabric::reduce_i32_job(
     });
   }
   sim_.run();
+  if (fallback_pending_) {
+    fallback_data(updates, start, r);
+    return r;
+  }
   for (Time t : r.tat)
     if (t < 0) throw std::runtime_error("Fabric::reduce_i32: reduction did not complete");
   return r;
@@ -174,6 +299,10 @@ worker::WorkerConfig TopologyBuilder::worker_config(int wid, int n_at_switch,
   wc.switch_id = switch_id;
   wc.timing_only = params_.timing_only;
   wc.lossless = params_.lossless;
+  // Lossless workers have no timers, so the timeout-driven escalation stages
+  // can never fire; keep them disabled explicitly.
+  wc.sync_after = params_.lossless ? 0 : params_.sync_after;
+  wc.dead_after = params_.lossless ? 0 : params_.dead_after;
   return wc;
 }
 

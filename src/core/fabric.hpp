@@ -62,9 +62,21 @@ struct FabricParams {
   bool lossless = false;
   // §6 tenancy: dataplane SRAM available for aggregation state.
   std::size_t sram_budget_bytes = 4 * kMiB;
+  // Recovery escalation budgets, in CONSECUTIVE timeouts of one slot (0
+  // disables the stage; see WorkerConfig). After sync_after the worker rides
+  // a slot-state probe on each retransmission — the probe detects a switch
+  // restart that raced a lost result and drives the rescue re-contribution.
+  // After dead_after the worker declares the switch dead and the job
+  // degrades to the streaming-PS fallback collective.
+  int sync_after = 3;
+  int dead_after = 25;
+  // Modeled delay between the dead declaration and the fallback collective
+  // taking over (provisioning PS processes on the worker hosts).
+  Time fallback_reprovision = msec(50);
   // Deterministic fault schedule (stragglers, link flaps, loss bursts, switch
-  // restarts) executed by a FaultInjector the fabric constructs when the plan
-  // is non-empty. See core/fault_plan.hpp for the time semantics.
+  // restarts, switch kills) executed by a FaultInjector the fabric constructs
+  // when the plan is non-empty. See core/fault_plan.hpp for the time
+  // semantics.
   FaultPlan faults;
 };
 
@@ -146,6 +158,10 @@ public:
   // The fault injector executing config().faults; null when the plan is empty.
   [[nodiscard]] FaultInjector* fault_injector() { return faults_.get(); }
 
+  // True once any reduction on this fabric degraded to the streaming-PS
+  // fallback (after a worker declared the switch dead).
+  [[nodiscard]] bool fallback_engaged() const { return fallbacks_ > 0; }
+
   // Runs one timing-only aggregation of `total_elems` elements on all
   // workers and returns each worker's tensor aggregation time (TAT, §5.1).
   std::vector<Time> reduce_timing(std::uint64_t total_elems);
@@ -167,6 +183,26 @@ public:
 private:
   friend class TopologyBuilder;
 
+  // --- switch-dead fallback (graceful degradation) ---------------------------
+  // A worker exhausting its dead_after retry budget fires on_switch_dead(),
+  // which aborts every worker's reduction so the simulation drains; the
+  // reduce_* call then replays the union of unconsumed chunks on a
+  // streaming-PS collective with honest TAT inflation (drain + reprovision +
+  // PS time). Bit-exact in data mode: int32 sums are order-independent.
+  struct FallbackPlan {
+    Time drained_at = 0;
+    std::vector<std::uint64_t> offsets; // union of unconsumed chunk offsets
+    std::uint64_t replay_elems = 0;
+  };
+  void install_recovery();
+  void on_switch_dead();
+  FallbackPlan collect_fallback_plan(std::uint64_t total_elems);
+  void finish_fallback();
+  void fallback_timing(const std::vector<Time>& start, std::vector<Time>& tat,
+                       std::uint64_t total_elems);
+  void fallback_data(const std::vector<std::vector<std::int32_t>>& updates,
+                     const std::vector<Time>& start, DataReduceResult& r);
+
   FabricConfig config_;
   MetricsRegistry metrics_;
   sim::Simulation sim_;
@@ -177,6 +213,9 @@ private:
   std::unique_ptr<FaultInjector> faults_;
   int n_jobs_ = 1;
   int workers_per_job_ = 0;
+  bool fallback_pending_ = false;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t fallback_replay_elems_ = 0;
 };
 
 // Builds one Fabric's nodes and links from its TopologySpec. All wiring rules

@@ -19,6 +19,7 @@ FaultInjector::FaultInjector(Fabric& fabric, const FaultPlan& plan) : f_(fabric)
                    [this] { return static_cast<std::int64_t>(active_stragglers_); });
     reg->add_counter("fault.flaps_applied", [this] { return counters_.flaps_applied; });
     reg->add_counter("fault.restarts_applied", [this] { return counters_.restarts_applied; });
+    reg->add_counter("fault.kills_applied", [this] { return counters_.kills_applied; });
     reg->add_counter("fault.straggler_windows", [this] { return counters_.straggler_windows; });
   }
 
@@ -33,46 +34,116 @@ FaultInjector::FaultInjector(Fabric& fabric, const FaultPlan& plan) : f_(fabric)
       ++counters_.restarts_applied;
     });
   }
+  for (const SwitchKillSpec& s : plan_.switch_kills) {
+    sim.schedule_daemon_timer(s.at, [this, s] {
+      f_.switch_at(s.switch_index).kill();
+      ++counters_.kills_applied;
+    });
+  }
 }
+
+namespace {
+// Every validation error names the offending spec — its kind, its index in
+// the plan's vector, and the sim times it carries — so a bad entry in a
+// generated schedule is findable without bisecting the plan.
+[[noreturn]] void reject(const char* kind, std::size_t index, Time at, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: " + std::string(kind) + "[" + std::to_string(index) +
+                              "] at t=" + std::to_string(at) + " ns: " + why);
+}
+} // namespace
 
 void FaultInjector::validate() const {
   const auto n_workers = f_.n_workers();
   const auto n_links = f_.n_links();
   const auto n_switches = f_.n_switches();
-  for (const StragglerSpec& s : plan_.stragglers) {
+  for (std::size_t i = 0; i < plan_.stragglers.size(); ++i) {
+    const StragglerSpec& s = plan_.stragglers[i];
     if (s.worker < 0 || s.worker >= n_workers)
-      throw std::invalid_argument("FaultPlan: straggler worker out of range");
-    if (s.factor <= 0.0) throw std::invalid_argument("FaultPlan: straggler factor must be > 0");
+      reject("stragglers", i, s.start,
+             "worker " + std::to_string(s.worker) + " out of range (fabric has " +
+                 std::to_string(n_workers) + " workers)");
+    if (s.factor <= 0.0)
+      reject("stragglers", i, s.start,
+             "factor " + std::to_string(s.factor) + " must be > 0");
     if (s.start < 0 || (s.stop >= 0 && s.stop <= s.start))
-      throw std::invalid_argument("FaultPlan: straggler window must have stop > start >= 0");
+      reject("stragglers", i, s.start,
+             "window needs stop > start >= 0 (stop=" + std::to_string(s.stop) + ")");
   }
-  for (const LinkFlapSpec& s : plan_.flaps) {
-    if (s.link >= n_links) throw std::invalid_argument("FaultPlan: flap link out of range");
-    if (s.down_at < 0 || s.up_at <= s.down_at)
-      throw std::invalid_argument("FaultPlan: flap needs up_at > down_at >= 0");
-  }
-  for (const LinkFlapCycleSpec& s : plan_.flap_cycles) {
+  for (std::size_t i = 0; i < plan_.flaps.size(); ++i) {
+    const LinkFlapSpec& s = plan_.flaps[i];
     if (s.link >= n_links)
-      throw std::invalid_argument("FaultPlan: flap-cycle link out of range");
+      reject("flaps", i, s.down_at,
+             "link " + std::to_string(s.link) + " out of range (fabric has " +
+                 std::to_string(n_links) + " links)");
+    if (s.down_at < 0 || s.up_at <= s.down_at)
+      reject("flaps", i, s.down_at,
+             "needs up_at > down_at >= 0 (up_at=" + std::to_string(s.up_at) + ")");
+  }
+  for (std::size_t i = 0; i < plan_.flap_cycles.size(); ++i) {
+    const LinkFlapCycleSpec& s = plan_.flap_cycles[i];
+    if (s.link >= n_links)
+      reject("flap_cycles", i, s.start,
+             "link " + std::to_string(s.link) + " out of range (fabric has " +
+                 std::to_string(n_links) + " links)");
     if (s.period <= 0 || s.duty_down <= 0.0 || s.duty_down >= 1.0)
-      throw std::invalid_argument("FaultPlan: flap cycle needs period > 0, duty in (0, 1)");
+      reject("flap_cycles", i, s.start,
+             "needs period > 0 and duty_down in (0, 1) (period=" + std::to_string(s.period) +
+                 ", duty_down=" + std::to_string(s.duty_down) + ")");
     if (s.start < 0 || s.cycles < 0)
-      throw std::invalid_argument("FaultPlan: flap cycle needs start >= 0, cycles >= 0");
+      reject("flap_cycles", i, s.start,
+             "needs start >= 0, cycles >= 0 (cycles=" + std::to_string(s.cycles) + ")");
   }
-  for (const BurstLossSpec& s : plan_.bursts) {
+  for (std::size_t i = 0; i < plan_.bursts.size(); ++i) {
+    const BurstLossSpec& s = plan_.bursts[i];
     if (s.link >= 0 && static_cast<std::size_t>(s.link) >= n_links)
-      throw std::invalid_argument("FaultPlan: burst link out of range");
+      reject("bursts", i, 0,
+             "link " + std::to_string(s.link) + " out of range (fabric has " +
+                 std::to_string(n_links) + " links; -1 targets all)");
   }
-  for (const SwitchRestartSpec& s : plan_.switch_restarts) {
+  for (std::size_t i = 0; i < plan_.switch_restarts.size(); ++i) {
+    const SwitchRestartSpec& s = plan_.switch_restarts[i];
     if (s.switch_index >= n_switches)
-      throw std::invalid_argument("FaultPlan: switch restart index out of range");
-    if (s.at < 0) throw std::invalid_argument("FaultPlan: switch restart time must be >= 0");
+      reject("switch_restarts", i, s.at,
+             "switch " + std::to_string(s.switch_index) + " out of range (fabric has " +
+                 std::to_string(n_switches) + " switches)");
+    if (s.at < 0) reject("switch_restarts", i, s.at, "time must be >= 0");
   }
-  if (f_.config().lossless &&
-      !(plan_.flaps.empty() && plan_.flap_cycles.empty() && plan_.bursts.empty() &&
-        plan_.switch_restarts.empty()))
-    throw std::invalid_argument(
-        "FaultPlan: lossless mode has no recovery machinery — only stragglers can be injected");
+  for (std::size_t i = 0; i < plan_.switch_kills.size(); ++i) {
+    const SwitchKillSpec& s = plan_.switch_kills[i];
+    if (s.switch_index >= n_switches)
+      reject("switch_kills", i, s.at,
+             "switch " + std::to_string(s.switch_index) + " out of range (fabric has " +
+                 std::to_string(n_switches) + " switches)");
+    if (s.at < 0) reject("switch_kills", i, s.at, "time must be >= 0");
+  }
+  if (f_.config().lossless) {
+    // Lossless mode (Algorithm 1/2) deliberately strips ALL recovery
+    // machinery — no retransmission timers, no version bit, no seen bitmaps —
+    // so each loss-inducing fault class is structurally unrecoverable, not
+    // merely slow. Explain the specific incompatibility per class.
+    if (!plan_.flaps.empty() || !plan_.flap_cycles.empty())
+      throw std::invalid_argument(
+          "FaultPlan: link flaps are incompatible with lossless mode: packets dropped while a "
+          "link is down are never retransmitted (Algorithm 2 workers run without timers), so "
+          "the reduction would hang. Use the default loss-tolerant mode for flap plans.");
+    if (!plan_.bursts.empty())
+      throw std::invalid_argument(
+          "FaultPlan: burst loss is incompatible with lossless mode: the network contract IS "
+          "zero loss (Infiniband/lossless RoCE), and without worker timers a single dropped "
+          "update stalls its slot forever. Use the default loss-tolerant mode for loss plans.");
+    if (!plan_.switch_restarts.empty())
+      throw std::invalid_argument(
+          "FaultPlan: switch restarts are incompatible with lossless mode: a dataplane wipe "
+          "discards in-progress aggregation state, and Algorithm 1 keeps no seen bitmaps or "
+          "shadow copies to make the workers' (nonexistent) retransmissions idempotent. Use "
+          "the default loss-tolerant mode for restart plans.");
+    if (!plan_.switch_kills.empty())
+      throw std::invalid_argument(
+          "FaultPlan: switch kills are incompatible with lossless mode: dead-switch detection "
+          "rides the retry budget of the retransmission timers that Algorithm 2 workers do not "
+          "have, so the kill would never be detected. Use the default loss-tolerant mode for "
+          "kill plans.");
+  }
 }
 
 int FaultInjector::links_down() const {

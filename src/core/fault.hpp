@@ -34,6 +34,7 @@ public:
   struct Counters {
     std::uint64_t flaps_applied = 0;     // down transitions (one-shot + cycles)
     std::uint64_t restarts_applied = 0;  // switch dataplane wipes
+    std::uint64_t kills_applied = 0;     // permanent switch deaths
     std::uint64_t straggler_windows = 0; // straggler-on transitions
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }

@@ -62,16 +62,27 @@ struct SwitchRestartSpec {
   Time at = 0;
 };
 
+// Permanent switch death (AggregationSwitch::kill): from `at` on, the switch
+// drops every packet. Unlike a restart there is nothing the retransmission
+// machinery can do; workers burn their dead_after retry budget, declare the
+// switch dead, and the fabric degrades the job to the streaming-PS fallback
+// collective (with honest completion-time inflation).
+struct SwitchKillSpec {
+  std::size_t switch_index = 0; // Fabric::switch_at index ([0] = root)
+  Time at = 0;
+};
+
 struct FaultPlan {
   std::vector<StragglerSpec> stragglers;
   std::vector<LinkFlapSpec> flaps;
   std::vector<LinkFlapCycleSpec> flap_cycles;
   std::vector<BurstLossSpec> bursts;
   std::vector<SwitchRestartSpec> switch_restarts;
+  std::vector<SwitchKillSpec> switch_kills;
 
   [[nodiscard]] bool empty() const {
     return stragglers.empty() && flaps.empty() && flap_cycles.empty() && bursts.empty() &&
-           switch_restarts.empty();
+           switch_restarts.empty() && switch_kills.empty();
   }
 };
 

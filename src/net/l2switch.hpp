@@ -34,6 +34,12 @@ public:
   [[nodiscard]] Time pipeline_latency() const { return pipeline_latency_; }
   [[nodiscard]] int port_of(NodeId dst) const;
   [[nodiscard]] Link* link_at(int port) const;
+  // The member ports of `group`, in the order they were registered (the
+  // fabric registers them in local-worker-index order). nullptr if unknown.
+  [[nodiscard]] const std::vector<int>* multicast_ports(std::uint32_t group) const {
+    auto it = mcast_.find(group);
+    return it == mcast_.end() ? nullptr : &it->second;
+  }
 
 private:
   Time pipeline_latency_;

@@ -8,7 +8,12 @@ std::uint32_t Packet::wire_bytes() const {
   switch (kind) {
     case PacketKind::SmlUpdate:
     case PacketKind::SmlResult:
+    case PacketKind::SmlRescue:
       return kSmlHeaderBytes + elem_count * elem_bytes;
+    case PacketKind::SmlSyncQuery:
+    case PacketKind::SmlSyncResponse:
+      // Headers only; both fit the minimum Ethernet frame.
+      return kAckWireBytes;
     case PacketKind::Segment:
       return kSegmentHeaderBytes + seg_len;
     case PacketKind::Ack:
@@ -36,6 +41,12 @@ std::uint32_t Packet::compute_checksum() const {
   mix(off);
   mix(job);
   mix(elem_count);
+  mix(epoch);
+  mix(sync_count0);
+  mix(sync_count1);
+  mix(sync_off0);
+  mix(sync_off1);
+  mix(sync_seen);
   for (std::int32_t v : values) mix(static_cast<std::uint32_t>(v));
   return h;
 }
@@ -44,6 +55,9 @@ const char* to_string(PacketKind k) {
   switch (k) {
     case PacketKind::SmlUpdate: return "SmlUpdate";
     case PacketKind::SmlResult: return "SmlResult";
+    case PacketKind::SmlSyncQuery: return "SmlSyncQuery";
+    case PacketKind::SmlSyncResponse: return "SmlSyncResponse";
+    case PacketKind::SmlRescue: return "SmlRescue";
     case PacketKind::Segment: return "Segment";
     case PacketKind::Ack: return "Ack";
     case PacketKind::Raw: return "Raw";

@@ -16,17 +16,23 @@ using NodeId = std::uint32_t;
 constexpr NodeId kBroadcast = 0xFFFFFFFF;
 
 enum class PacketKind : std::uint8_t {
-  SmlUpdate,  // worker -> switch model-update piece (Algorithm 2/4)
-  SmlResult,  // switch -> worker aggregated piece (multicast or unicast)
-  Segment,    // reliable byte-stream data segment (baselines)
-  Ack,        // reliable byte-stream cumulative acknowledgment
-  Raw,        // anything else
+  SmlUpdate,       // worker -> switch model-update piece (Algorithm 2/4)
+  SmlResult,       // switch -> worker aggregated piece (multicast or unicast)
+  SmlSyncQuery,    // worker -> switch slot-state probe (recovery escalation)
+  SmlSyncResponse, // switch -> worker slot-state snapshot (epoch, counts, seen)
+  SmlRescue,       // worker -> switch re-contribution of a completed phase
+  Segment,         // reliable byte-stream data segment (baselines)
+  Ack,             // reliable byte-stream cumulative acknowledgment
+  Raw,             // anything else
 };
 
 // Fixed header sizes in bytes (Ethernet + IPv4 + L4 + app header).
 constexpr std::uint32_t kSmlHeaderBytes = 52;   // 14 + 20 + 8 + 10
 constexpr std::uint32_t kSegmentHeaderBytes = 54; // 14 + 20 + 20 (TCP-like)
 constexpr std::uint32_t kAckWireBytes = 64;     // minimum Ethernet frame
+
+// "No claim at this version" marker for SmlSyncResponse's sync_off fields.
+constexpr std::uint64_t kNoClaimOff = ~0ull;
 
 // Default SwitchML payload geometry (§3.4): k = 32 elements per packet.
 constexpr std::uint32_t kDefaultElemsPerPacket = 32;
@@ -44,6 +50,20 @@ struct Packet {
   std::uint8_t ver = 0;   // single-bit pool version (Algorithm 3/4)
   std::uint32_t idx = 0;  // aggregator slot index
   std::uint64_t off = 0;  // element offset into the model update
+  // Switch incarnation number, bumped by every dataplane restart and stamped
+  // on every result/sync packet the switch emits. Rides otherwise-unused bits
+  // of the 10-byte SwitchML header, so it does not change wire_bytes().
+  std::uint32_t epoch = 0;
+
+  // --- SmlSyncResponse payload: the switch's view of one slot -------------
+  // Per-version mod-n counter, the offset of the version's current claim
+  // (kNoClaimOff when count == 0), and the querying worker's seen bits
+  // (bit 0 = version 0, bit 1 = version 1).
+  std::uint32_t sync_count0 = 0;
+  std::uint32_t sync_count1 = 0;
+  std::uint64_t sync_off0 = 0;
+  std::uint64_t sync_off1 = 0;
+  std::uint8_t sync_seen = 0;
 
   // --- reliable transport header (Segment / Ack) ---
   std::uint32_t stream = 0;

@@ -48,6 +48,11 @@ AggregationSwitch::AggregationSwitch(sim::Simulation& simulation, net::NodeId id
     reg->add_counter(p + "unknown_job_drops", [this] { return counters_.unknown_job_drops; });
     reg->add_counter(p + "checksum_drops", [this] { return counters_.checksum_drops; });
     reg->add_counter(p + "restarts", [this] { return counters_.restarts; });
+    reg->add_counter(p + "recovery.sync_replies", [this] { return counters_.sync_replies; });
+    reg->add_counter(p + "recovery.rescues_applied",
+                     [this] { return counters_.rescues_applied; });
+    reg->add_counter(p + "recovery.dead_drops", [this] { return counters_.dead_drops; });
+    reg->add_gauge(p + "epoch", [this] { return static_cast<std::int64_t>(epoch_); });
     reg->add_gauge(p + "sram_used_bytes",
                    [this] { return static_cast<std::int64_t>(register_bytes()); });
     reg->add_histogram(p + "slot_dwell_ns", &slot_dwell_ns_);
@@ -93,6 +98,9 @@ bool AggregationSwitch::admit_job(std::uint8_t job, const JobParams& params) {
   state.claim_ver.assign(params.pool_size, 255);
   state.claim_at.assign(params.pool_size, -1);
   state.flip_at.assign(params.pool_size, -1);
+  state.claim_off[0].assign(params.pool_size, net::kNoClaimOff);
+  state.claim_off[1].assign(params.pool_size, net::kNoClaimOff);
+  state.rescue_seen.assign(params.pool_size, 0);
   const std::string prefix = "job" + std::to_string(job) + ".";
   if (!config_.lossless)
     state.seen = std::make_unique<dp::RegisterArray>(pipeline_, prefix + "seen", 0,
@@ -128,10 +136,24 @@ void AggregationSwitch::restart() {
     std::fill(job.claim_ver.begin(), job.claim_ver.end(), std::uint8_t{255});
     std::fill(job.claim_at.begin(), job.claim_at.end(), Time{-1});
     std::fill(job.flip_at.begin(), job.flip_at.end(), Time{-1});
+    for (auto& offs : job.claim_off)
+      std::fill(offs.begin(), offs.end(), net::kNoClaimOff);
+    std::fill(job.rescue_seen.begin(), job.rescue_seen.end(), 0ull);
   }
+  // The reloaded program comes up under a new incarnation; every result and
+  // sync response from here on carries it, which is how workers learn their
+  // pre-restart in-flight contributions are gone.
+  ++epoch_;
   ++counters_.restarts;
   trace::emit(trace::kCatFault, sim_.now(), id(), "switch_restart",
-              {"jobs", static_cast<std::int64_t>(jobs_.size())});
+              {"jobs", static_cast<std::int64_t>(jobs_.size())},
+              {"epoch", static_cast<std::int64_t>(epoch_)});
+}
+
+void AggregationSwitch::kill() {
+  dead_ = true;
+  trace::emit(trace::kCatFault, sim_.now(), id(), "switch_kill",
+              {"epoch", static_cast<std::int64_t>(epoch_)});
 }
 
 const quant::Fp16Table& AggregationSwitch::fp16_table() {
@@ -148,20 +170,37 @@ int AggregationSwitch::local_worker_index(const JobState& job, std::uint16_t wid
 }
 
 void AggregationSwitch::receive(net::Packet&& p, int port) {
+  if (dead_) {
+    // A killed switch is silent: nothing is aggregated, forwarded, or
+    // answered. Workers detect the black hole through their retry budgets.
+    ++counters_.dead_drops;
+    return;
+  }
   if (p.kind == net::PacketKind::SmlUpdate) {
     handle_update(std::move(p), port);
+    return;
+  }
+  if (p.kind == net::PacketKind::SmlSyncQuery) {
+    handle_sync_query(p);
+    return;
+  }
+  if (p.kind == net::PacketKind::SmlRescue) {
+    handle_rescue(std::move(p));
     return;
   }
   if (role_ == SwitchRole::Leaf && p.kind == net::PacketKind::SmlResult &&
       port == config_.parent_port) {
     // Root result arriving at a leaf: relay to our workers. Workers ignore
     // duplicates by offset matching, so re-multicasting a retransmitted root
-    // result is safe.
+    // result is safe. The epoch is rewritten to OUR incarnation: a worker's
+    // epoch domain is its directly-attached switch, not the root.
     ++counters_.results_from_parent;
     ++counters_.results_multicast;
     auto it = jobs_.find(p.job);
     const std::uint32_t group =
         it != jobs_.end() ? it->second.params.multicast_group : config_.multicast_group;
+    p.epoch = epoch_;
+    p.seal();
     multicast(group, p);
     return;
   }
@@ -178,6 +217,7 @@ void AggregationSwitch::emit_result(const JobState& job, const net::Packet& upda
   result.ver = update.ver;
   result.idx = update.idx;
   result.off = update.off;
+  result.epoch = epoch_;
   result.elem_count = update.elem_count;
   result.elem_bytes = update.elem_bytes;
   result.values = std::move(values);
@@ -266,6 +306,11 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     const bool complete = new_count == 0;
 
     if (first) {
+      // Latch the offset this version is now aggregating (read by sync
+      // responses) and reset the version's rescue dedup bits: a fresh claim
+      // starts a fresh phase, so older rescues must not be confused with it.
+      job.claim_off[ver][idx] = p.off;
+      job.rescue_seen[idx] &= ~(0xFFFFFFFFull << (ver * 32));
       // Telemetry-only generation tracking: a claim under the other pool
       // version means this slot just turned over (Algorithm 4's ver flip).
       const std::uint8_t prev_ver = job.claim_ver[idx];
@@ -366,6 +411,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
         reply.ver = p.ver;
         reply.idx = p.idx;
         reply.off = p.off;
+        reply.epoch = epoch_;
         reply.elem_count = p.elem_count;
         reply.elem_bytes = p.elem_bytes;
         reply.values = std::move(result_values);
@@ -374,6 +420,171 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
       }
     }
     // else: still aggregating — the duplicate is simply ignored.
+  }
+}
+
+void AggregationSwitch::handle_sync_query(const net::Packet& p) {
+  if (!p.verify()) {
+    ++counters_.checksum_drops;
+    return;
+  }
+  auto jit = jobs_.find(p.job);
+  if (jit == jobs_.end()) {
+    ++counters_.unknown_job_drops;
+    return;
+  }
+  JobState& job = jit->second;
+  if (p.idx >= job.params.pool_size)
+    throw std::runtime_error(name() + ": sync query slot index out of range");
+  const int wid_local = local_worker_index(job, p.wid);
+  pipeline_.begin_packet();
+
+  // Control-plane read of the slot's registers: per-version counters, the
+  // offsets currently claimed, and each worker's own seen bits. The state
+  // snapshot is ANNOUNCED to the whole job (traffic-manager replication of
+  // one probe reply, like a result multicast): a stranded worker's peers may
+  // have already retired the slot after consuming its final result, and only
+  // hear about the re-claimed phase — and volunteer the rescue — if the
+  // announcement reaches them too.
+  net::Packet reply;
+  reply.kind = net::PacketKind::SmlSyncResponse;
+  reply.src = id();
+  reply.job = p.job;
+  reply.ver = p.ver;
+  reply.idx = p.idx;
+  reply.off = p.off; // echoed so the worker can match it to the stuck phase
+  reply.epoch = epoch_;
+  // Register reads in pipeline-stage order: seen (stage 0) before count
+  // (stage 1), exactly as a real probe packet would traverse them.
+  std::uint64_t seen = 0;
+  if (job.seen) seen = job.seen->read(p.idx);
+  const std::uint64_t counts = job.count->read(p.idx);
+  reply.sync_count0 = static_cast<std::uint32_t>(dp::half_get(counts, 0));
+  reply.sync_count1 = static_cast<std::uint32_t>(dp::half_get(counts, 1));
+  reply.sync_off0 = job.claim_off[0][p.idx];
+  reply.sync_off1 = job.claim_off[1][p.idx];
+  ++counters_.sync_replies;
+  trace::emit(trace::kCatFault, sim_.now(), id(), "slot_sync", {"slot", p.idx},
+              {"wid", wid_local}, {"epoch", static_cast<std::int64_t>(epoch_)});
+  const std::vector<int>* ports = multicast_ports(job.params.multicast_group);
+  if (ports == nullptr) { // no replication group (unit fixtures): unicast
+    reply.dst = p.src;
+    reply.wid = p.wid;
+    if (job.seen)
+      reply.sync_seen =
+          static_cast<std::uint8_t>(((seen >> wid_local) & 1) |
+                                    (((seen >> (32 + wid_local)) & 1) << 1));
+    reply.seal();
+    forward(std::move(reply));
+    return;
+  }
+  const Time ready = sim_.now() + pipeline_latency();
+  for (std::size_t i = 0; i < ports->size(); ++i) {
+    net::Link* link = link_at((*ports)[i]);
+    net::Packet copy = reply;
+    copy.dst = link->peer_of(*this).id();
+    copy.wid = static_cast<std::uint16_t>(job.params.wid_base + i);
+    // Each copy carries the RECEIVER's seen bits (bit 0 = version 0): the
+    // replication engine rewrites the two bits per egress port.
+    copy.sync_seen = static_cast<std::uint8_t>(((seen >> i) & 1) | (((seen >> (32 + i)) & 1) << 1));
+    copy.seal();
+    link->send_from(*this, std::move(copy), ready);
+  }
+}
+
+void AggregationSwitch::handle_rescue(net::Packet&& p) {
+  if (!p.verify()) {
+    ++counters_.checksum_drops;
+    return;
+  }
+  auto jit = jobs_.find(p.job);
+  if (jit == jobs_.end()) {
+    ++counters_.unknown_job_drops;
+    return;
+  }
+  JobState& job = jit->second;
+  if (config_.lossless) {
+    ++counters_.rescues_ignored;
+    return;
+  }
+  const int ver = p.ver & 1;
+  const std::uint32_t idx = p.idx;
+  if (idx >= job.params.pool_size)
+    throw std::runtime_error(name() + ": rescue slot index out of range");
+  const int wid_local = local_worker_index(job, p.wid);
+  const auto n = static_cast<std::uint32_t>(job.params.n_workers);
+
+  pipeline_.begin_packet();
+
+  // A rescue is valid only against the version's CURRENT, still-incomplete
+  // phase; anything else is stale evidence from before the state moved on.
+  // The rescue bitmap makes retried rescues idempotent. The dedup bits and
+  // claimed offsets are control-plane vectors, so the count register is
+  // touched exactly once (a conditional rmw), respecting the one-access-per-
+  // packet dataplane constraint.
+  const std::uint64_t bit = worker_bit(ver, wid_local);
+  if ((job.rescue_seen[idx] & bit) != 0 || job.claim_off[ver][idx] != p.off) {
+    ++counters_.rescues_ignored;
+    trace::emit(trace::kCatFault, sim_.now(), id(), "rescue_ignore", {"slot", idx},
+                {"wid", wid_local}, {"ver", ver});
+    return;
+  }
+  bool applied = false;
+  std::uint32_t new_count = 0;
+  job.count->rmw(idx, [&](std::uint64_t w) {
+    const auto c = static_cast<std::uint32_t>(dp::half_get(w, ver));
+    if (c == 0) return w; // version idle or already complete: stale rescue
+    applied = true;
+    new_count = (c + 1) % n;
+    return dp::half_set(w, ver, new_count);
+  });
+  if (!applied) {
+    ++counters_.rescues_ignored;
+    trace::emit(trace::kCatFault, sim_.now(), id(), "rescue_ignore", {"slot", idx},
+                {"wid", wid_local}, {"ver", ver});
+    return;
+  }
+  job.rescue_seen[idx] |= bit;
+  ++counters_.rescues_applied;
+  trace::emit(trace::kCatFault, sim_.now(), id(), "rescue_apply", {"slot", idx},
+              {"wid", wid_local}, {"off", static_cast<std::int64_t>(p.off)});
+
+  // Aggregate like a non-first contribution, WITHOUT touching the seen
+  // bitmap: the rescuer's data-plane bits still describe its current-phase
+  // contribution at the other version, and must stay that way.
+  const bool complete = new_count == 0;
+
+  const std::size_t k_agg = std::min<std::size_t>(
+      {static_cast<std::size_t>(p.elem_count), static_cast<std::size_t>(config_.hw_elems_limit),
+       job.pool.size()});
+  std::vector<std::int32_t> result_values;
+  if (!config_.timing_only && !p.values.empty()) {
+    const bool fp16 = p.elem_bytes == 2;
+    const quant::Fp16Table* table = fp16 ? &fp16_table() : nullptr;
+    if (complete) result_values.resize(p.values.size());
+    for (std::size_t j = 0; j < k_agg; ++j) {
+      const std::int32_t x =
+          fp16 ? table->to_fixed(static_cast<quant::half>(static_cast<std::uint32_t>(p.values[j])))
+               : p.values[j];
+      std::int32_t updated = 0;
+      job.pool[j]->rmw(idx, [&](std::uint64_t w) {
+        const std::int32_t old = dp::half_as_i32(w, ver);
+        updated = static_cast<std::int32_t>(static_cast<std::uint32_t>(old) +
+                                            static_cast<std::uint32_t>(x));
+        return dp::half_store_i32(w, ver, updated);
+      });
+      if (complete) result_values[j] = fp16 ? table->to_half(updated) : updated;
+    }
+    if (complete)
+      for (std::size_t j = k_agg; j < p.values.size(); ++j) result_values[j] = p.values[j];
+  }
+
+  if (complete) {
+    ++counters_.completions;
+    if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
+    trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
+                {"off", static_cast<std::int64_t>(p.off)});
+    emit_result(job, p, std::move(result_values));
   }
 }
 

@@ -111,13 +111,23 @@ public:
   // Fault injection: a switch restart that wipes the dataplane aggregation
   // state mid-run — every job's seen bitmaps, mod-n counters, and value pool
   // are reset out-of-band (control_plane_fill), as if the program was just
-  // reloaded. In-flight packets are unaffected; recovery rides the workers'
-  // retransmission timers re-driving the wiped slots. Note recovery is only
-  // guaranteed while no result packets are concurrently lost: a lost
-  // multicast plus a wiped shadow copy can strand a worker on the old pool
-  // version (the paper's answer there is a control-plane checkpoint, which
-  // this model does not implement).
+  // reloaded. In-flight packets are unaffected. Recovery rides the workers'
+  // retransmission timers re-driving the wiped slots, plus the epoch/resync
+  // protocol (SmlSyncQuery/SmlSyncResponse/SmlRescue) for the stranding race
+  // where a restart destroys the shadow copy of a result that was
+  // concurrently lost: the restart bumps `epoch()`, stamped on every emitted
+  // result, and stranded workers learn the slot's post-wipe state through
+  // sync queries and re-contribute the missing phase with rescue packets.
   void restart();
+
+  // Fault injection: permanent switch death (SwitchKillSpec). A killed
+  // switch drops every packet from now on; workers detect the silence via
+  // their retry budgets and the job degrades to the streaming-PS fallback.
+  void kill();
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  // Monotonically increasing dataplane incarnation, bumped by restart().
+  [[nodiscard]] std::uint32_t epoch() const { return epoch_; }
   [[nodiscard]] bool has_job(std::uint8_t job) const { return jobs_.count(job) != 0; }
   [[nodiscard]] std::size_t jobs_admitted() const { return jobs_.size(); }
   [[nodiscard]] std::size_t sram_free_bytes() const;
@@ -133,6 +143,10 @@ public:
     std::uint64_t unknown_job_drops = 0;   // packets for unadmitted jobs
     std::uint64_t checksum_drops = 0;      // corrupted updates discarded (§3.4)
     std::uint64_t restarts = 0;            // fault-injected dataplane wipes
+    std::uint64_t sync_replies = 0;        // SmlSyncQuery packets answered
+    std::uint64_t rescues_applied = 0;     // SmlRescue contributions aggregated
+    std::uint64_t rescues_ignored = 0;     // stale/duplicate rescues dropped
+    std::uint64_t dead_drops = 0;          // packets dropped after kill()
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -168,9 +182,20 @@ private:
     // version flip (feeds the flip-interval histogram).
     std::vector<Time> claim_at;
     std::vector<Time> flip_at;
+    // Recovery-protocol state (modeled as the packet's `off` header field
+    // latched into a per-slot register at claim time): the offset each
+    // version is currently aggregating (kNoClaimOff when idle/wiped).
+    // Reported by SmlSyncResponse so a stranded worker can tell whether its
+    // peers sit one phase behind (rescue needed) or one phase ahead (wait).
+    std::vector<std::uint64_t> claim_off[2];
+    // Per-slot rescue dedup bitmap, same bit layout as `seen` (ver*32 + wid);
+    // cleared when a version is freshly claimed, completed, or wiped.
+    std::vector<std::uint64_t> rescue_seen;
   };
 
   void handle_update(net::Packet&& p, int in_port);
+  void handle_sync_query(const net::Packet& p);
+  void handle_rescue(net::Packet&& p);
   void emit_result(const JobState& job, const net::Packet& update,
                    std::vector<std::int32_t>&& values);
   void send_upstream(net::Packet&& p);
@@ -184,6 +209,8 @@ private:
   AggregationConfig config_;
   SwitchRole role_;
   dp::Pipeline pipeline_;
+  std::uint32_t epoch_ = 0;
+  bool dead_ = false;
   std::map<std::uint8_t, JobState> jobs_;
   std::unique_ptr<quant::Fp16Table> fp16_table_;
   Counters counters_;

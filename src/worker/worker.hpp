@@ -42,11 +42,21 @@ struct WorkerConfig {
   // §6: "one should take care to adapt the retransmission timeout according
   // to variations in end-to-end RTT". When enabled, the worker runs a
   // Jacobson/Karels estimator (SRTT + 4*RTTVAR) seeded from
-  // retransmit_timeout, clamped to [rto_min, rto_max], with exponential
-  // backoff on repeated timeouts.
+  // retransmit_timeout, clamped to [rto_min, rto_max]. Capped per-slot
+  // exponential backoff on repeated timeouts applies in BOTH modes (fixed
+  // mode backs off from the fixed base instead of the estimator).
   bool adaptive_rto = false;
   Time rto_min = usec(150);
   Time rto_max = msec(64);
+  // Recovery escalation budgets, counted in CONSECUTIVE timeouts of one
+  // slot (0 disables the stage). After `sync_after` timeouts each further
+  // timeout also sends a SlotSyncQuery probing the switch's slot state
+  // (epoch, per-version counters, seen bits) — the probe detects a restart
+  // that raced a lost result and drives the rescue re-contribution. After
+  // `dead_after` timeouts the worker declares the switch dead and fires the
+  // switch-dead handler (the fabric then degrades to the PS fallback).
+  int sync_after = 0;
+  int dead_after = 0;
   net::NicConfig nic;
   net::NodeId switch_id = 0;
   std::uint8_t job = 0;
@@ -99,6 +109,43 @@ public:
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  // Recovery-protocol observability (exported as "<name>.recovery.*").
+  struct RecoveryCounters {
+    std::uint64_t sync_queries = 0;    // SlotSyncQuery packets sent
+    std::uint64_t sync_responses = 0;  // responses consumed
+    std::uint64_t escalations = 0;     // slots that crossed the sync_after budget
+    std::uint64_t epoch_resyncs = 0;   // newer-epoch observations acted on
+    std::uint64_t epoch_resends = 0;   // in-flight packets re-driven on resync
+    std::uint64_t rescues_sent = 0;    // previous-phase re-contributions
+    std::uint64_t dead_declared = 0;   // 1 once the dead_after budget is spent
+  };
+  [[nodiscard]] const RecoveryCounters& recovery() const { return recovery_; }
+
+  // Fired exactly once when a slot exhausts the dead_after retry budget.
+  void set_switch_dead_handler(std::function<void()> h) { on_switch_dead_ = std::move(h); }
+
+  // Tears down the in-flight reduction without completing it: all slot
+  // timers are cancelled and no further packets are sent, but the slot
+  // offsets are kept so unconsumed_chunks() can report what remains. The
+  // fabric calls this on every worker when one declares the switch dead.
+  void abort_reduction();
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+  // Chunk offsets this worker has not consumed a result for (valid after
+  // abort_reduction); the fallback collective replays their union.
+  [[nodiscard]] std::vector<std::uint64_t> unconsumed_chunks() const;
+
+  // Clears the aborted reduction's state once the fallback replayed it (the
+  // on_complete callback is dropped, never fired).
+  void finish_aborted_reduction();
+
+  // Latest switch incarnation this worker has observed.
+  [[nodiscard]] std::uint32_t switch_epoch() const { return switch_epoch_; }
+
+  // Stall-recovery latency distribution: first timeout of an episode until
+  // the stalled slot's result finally arrives ("<name>.recovery.resync_ns").
+  [[nodiscard]] const Histogram& resync_hist() const { return resync_ns_; }
+
   // Per-packet RTT samples (send -> result), excluding retransmitted packets
   // (Karn's rule). Used for Fig 2's right axis.
   [[nodiscard]] const Summary& rtt() const { return rtt_; }
@@ -130,14 +177,34 @@ private:
     std::uint64_t off = 0;   // offset currently in flight on this slot
     bool active = false;     // a packet for `off` is outstanding
     bool retransmitted = false;
-    int backoff = 0;         // per-slot exponential RTO backoff (adaptive mode)
+    int backoff = 0;         // per-slot capped exponential RTO backoff
+    int retries = 0;         // consecutive timeouts (escalation budget)
+    std::uint32_t epoch = 0; // switch epoch known when `off` was last driven
+    Time stall_started_at = -1; // first timeout of the current episode
     Time sent_at = 0;
     sim::TimerHandle timer;
     std::uint64_t phases_completed = 0;
+    // Final-phase retire record. After this slot's LAST result is consumed
+    // no timer ever fires for it again — but a switch restart can strand a
+    // slower peer re-claiming that exact phase with nobody left to complete
+    // it. The job-wide slot-state announcement (SmlSyncResponse multicast)
+    // lets this worker spot the re-claim and volunteer the re-contribution;
+    // its own announced seen bit (wiped by the restart, still set otherwise)
+    // distinguishes the stranding from a normal in-progress aggregation.
+    bool retired = false;
+    std::uint64_t retired_off = 0;
+    std::uint8_t retired_ver = 0;
+    std::uint32_t retired_elems = 0;
   };
 
   void send_update(std::uint32_t slot_index, bool retransmission);
   void handle_result(net::Packet&& p);
+  void handle_sync_response(net::Packet&& p);
+  void send_sync_query(std::uint32_t slot_index);
+  void send_rescue(std::uint32_t slot_index, std::uint64_t off, std::uint8_t ver,
+                   std::uint32_t elem_count);
+  void observe_epoch(std::uint32_t epoch);
+  void declare_switch_dead();
   void arm_timer(std::uint32_t slot_index);
   void rtt_sample(Time sample);
   void drain_wire_ledger();
@@ -169,6 +236,11 @@ private:
   std::function<void(std::uint64_t, std::uint32_t)> on_chunk_;
 
   Counters counters_;
+  RecoveryCounters recovery_;
+  std::uint32_t switch_epoch_ = 0;
+  bool aborted_ = false;
+  bool dead_declared_ = false;
+  std::function<void()> on_switch_dead_;
   // Wire times of packets handed to the NIC but not yet serialized onto the
   // link; drained lazily (like Link's occupancy ledger) to advance
   // updates_wired without per-packet simulator events. Bounded by the
@@ -177,6 +249,7 @@ private:
   Summary rtt_;
   Histogram rtt_ns_;
   Histogram completion_ns_;
+  Histogram resync_ns_;
   Time reduction_started_at_ = 0;
   // Jacobson/Karels state (adaptive_rto).
   Time rto_ = 0;

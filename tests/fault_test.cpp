@@ -394,9 +394,9 @@ TEST(FaultPlanTest, FaultEventsAppearInTraceSink) {
   ClusterConfig cfg = ClusterConfig::for_rate(gbps(10), 4);
   cfg.timing_only = true;
   cfg.faults.stragglers.push_back({0, 2.0, usec(10), usec(200)});
-  // The restart precedes the flap's first loss: wiping the shadow copies
-  // AFTER a result packet was lost would strand its worker with no recovery
-  // path (see DESIGN.md), so plans must order restarts before loss windows.
+  // Restarts may land anywhere relative to loss windows: the epoch/resync
+  // protocol recovers even a restart that races a lost result packet (see
+  // DESIGN.md "Switch restarts" and recovery_test.cpp).
   cfg.faults.switch_restarts.push_back({0, usec(15)});
   cfg.faults.flaps.push_back({1, usec(20), usec(120)});
   Cluster cluster(cfg);
