@@ -1,0 +1,152 @@
+// Microbenchmark: raw event-engine throughput — schedule -> dispatch and the
+// cancel path — across closure capture sizes (8/24/48 bytes, spanning the
+// old std::function inline limit) and queue depths (1K shallow, 64K deep
+// enough that heap sifts leave L1).
+//
+// Unlike micro_timer (google-benchmark, wall-clock numbers only), this is a
+// BenchReport bench so scripts/bench_baseline.sh runs it in the smoke set:
+// the deterministic counters (events dispatched, capture checksum) are
+// guarded at 1e-9 against the committed baseline — they catch lost,
+// duplicated, reordered-into-wrong-payload, or corrupted closures — while
+// the host-measured throughput is recorded as info() only, never compared
+// (CI runner speeds vary far too much for a wall-clock gate).
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace switchml;
+using Clock = std::chrono::steady_clock;
+
+// Callable with a tunable capture footprint: one accumulator pointer plus
+// padding up to `Bytes` total. The callback reads the padding so the capture
+// bytes genuinely travel through the slab (a dead pad would let the
+// optimizer shrink the copy).
+template <std::size_t Bytes>
+struct Cb {
+  static_assert(Bytes > sizeof(std::uint64_t*));
+  std::uint64_t* acc;
+  unsigned char pad[Bytes - sizeof(std::uint64_t*)];
+  void operator()() { *acc += 1 + pad[sizeof(pad) - 1]; }
+};
+template <>
+struct Cb<sizeof(std::uint64_t*)> {
+  std::uint64_t* acc;
+  void operator()() { *acc += 1; }
+};
+static_assert(sizeof(Cb<8>) == 8 && sizeof(Cb<24>) == 24 && sizeof(Cb<48>) == 48);
+static_assert(sim::EventFn::fits<Cb<48>>());
+
+template <std::size_t Bytes>
+Cb<Bytes> make_cb(std::uint64_t* acc, std::size_t i) {
+  Cb<Bytes> cb{};
+  cb.acc = acc;
+  if constexpr (Bytes > sizeof(std::uint64_t*))
+    cb.pad[sizeof(cb.pad) - 1] = static_cast<unsigned char>(i);
+  return cb;
+}
+
+struct Result {
+  std::uint64_t events = 0;   // live events dispatched (deterministic)
+  std::uint64_t checksum = 0; // payload accumulator (deterministic)
+  double mops = 0.0;          // schedule+dispatch pairs per second / 1e6 (host)
+};
+
+// Fill the queue to `depth`, drain it, repeat until `total` events ran.
+template <std::size_t Bytes>
+Result schedule_fire(std::size_t depth, std::uint64_t total) {
+  sim::Simulation s;
+  std::uint64_t acc = 0;
+  std::uint64_t scheduled = 0;
+  const auto t0 = Clock::now();
+  while (scheduled < total) {
+    const Time base = s.now();
+    for (std::size_t i = 0; i < depth; ++i)
+      s.schedule_at(base + static_cast<Time>(i + 1), make_cb<Bytes>(&acc, i));
+    scheduled += depth;
+    s.run();
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return {s.events_executed(), acc, static_cast<double>(scheduled) / secs / 1e6};
+}
+
+// Arm `depth` timers, cancel them all, drain: the retransmission fast path
+// where the ACK wins and every queued key pops inert.
+Result cancel_fire(std::size_t depth, std::uint64_t total) {
+  sim::Simulation s;
+  std::uint64_t acc = 0;
+  std::uint64_t scheduled = 0;
+  std::vector<sim::TimerHandle> handles(depth);
+  const auto t0 = Clock::now();
+  while (scheduled < total) {
+    for (std::size_t i = 0; i < depth; ++i)
+      handles[i] = s.schedule_timer(static_cast<Time>(i + 1), make_cb<8>(&acc, i));
+    for (auto& h : handles) h.cancel();
+    scheduled += depth;
+    s.run(); // every pop is inert: the clock never even advances
+  }
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return {s.events_executed(), acc, static_cast<double>(scheduled) / secs / 1e6};
+}
+
+// Steady-state churn: one self-re-arming timer, so every iteration recycles
+// the same slab slot (the pattern of a protocol RTO timer under load).
+Result churn(std::uint64_t total) {
+  sim::Simulation s;
+  std::uint64_t remaining = total;
+  const auto t0 = Clock::now();
+  std::function<void()> rearm = [&] {
+    if (--remaining > 0) s.schedule_timer(1, rearm);
+  };
+  s.schedule_timer(1, rearm);
+  s.run();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  return {s.events_executed(), total - remaining, static_cast<double>(total) / secs / 1e6};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = bench::has_flag(argc, argv, "--fast");
+  const std::uint64_t total = fast ? (1ull << 17) : (1ull << 21);
+
+  bench::BenchReport report("micro_events", argc, argv);
+  report.info("ops_per_scenario", std::to_string(total));
+
+  std::printf("%-22s %12s %12s %10s\n", "scenario", "events", "checksum", "Mops/s");
+  const auto row = [&](const std::string& name, const Result& r) {
+    std::printf("%-22s %12llu %12llu %10.1f\n", name.c_str(),
+                static_cast<unsigned long long>(r.events),
+                static_cast<unsigned long long>(r.checksum), r.mops);
+    report.add(name + ".events", static_cast<double>(r.events));
+    report.add(name + ".checksum", static_cast<double>(r.checksum));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", r.mops);
+    report.info(name + ".mops", buf);
+  };
+
+  for (const std::size_t depth : {std::size_t{1} << 10, std::size_t{1} << 16}) {
+    const std::string d = "_d" + std::to_string(depth);
+    row("fire_cap8" + d, schedule_fire<8>(depth, total));
+    row("fire_cap24" + d, schedule_fire<24>(depth, total));
+    row("fire_cap48" + d, schedule_fire<48>(depth, total));
+    row("cancel_cap8" + d, cancel_fire(depth, total));
+  }
+  row("churn_d1", churn(total));
+
+  const std::string path = report.write();
+  if (path.empty()) {
+    std::fprintf(stderr, "micro_events: failed to write report\n");
+    return 1;
+  }
+  std::printf("\nreport: %s\n", path.c_str());
+  return 0;
+}

@@ -37,7 +37,7 @@ Time HostNic::tx_ready(int core, std::int64_t wire_bytes) {
          config_.tx_latency;
 }
 
-void HostNic::rx_process(int core, std::int64_t wire_bytes, std::function<void()> deliver) {
+void HostNic::rx_process(int core, std::int64_t wire_bytes, sim::EventFn deliver) {
   const Time done =
       occupy(core, effective_cost(config_.per_packet_rx, config_.per_byte_rx, wire_bytes));
   sim_.schedule_at(done + config_.rx_latency, std::move(deliver));

@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/units.hpp"
@@ -46,8 +45,10 @@ public:
   Time tx_ready(int core, std::int64_t wire_bytes = 0);
 
   // Schedules `deliver` to run once `core` has processed a packet of
-  // `wire_bytes` that arrived now. One simulator event per received packet.
-  void rx_process(int core, std::int64_t wire_bytes, std::function<void()> deliver);
+  // `wire_bytes` that arrived now. One simulator event per received packet;
+  // the closure rides the simulator's allocation-free EventFn, so its
+  // captures must fit sim::EventFn's inline buffer.
+  void rx_process(int core, std::int64_t wire_bytes, sim::EventFn deliver);
 
   // Total CPU-busy nanoseconds accumulated across cores (for utilization
   // reporting).

@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+
+namespace switchml::sim {
+
+std::uint32_t EventQueue::grow_slab() {
+  if (slot_count_ > kSlotMask) throw_slab_full();
+  const std::uint32_t slot = slot_count_++;
+  if ((slot >> kChunkShift) >= chunks_.size())
+    chunks_.push_back(std::make_unique<Record[]>(kChunkSize));
+  return slot;
+}
+
+void EventQueue::throw_seq_overflow() {
+  throw std::overflow_error(
+      "EventQueue: sequence counter exhausted (~1.1e12 schedules without the queue ever "
+      "draining) — split the run, or widen the seq field");
+}
+
+void EventQueue::throw_slab_full() {
+  throw std::overflow_error(
+      "EventQueue: more than 2^24 events pending at once — the slot index no longer fits "
+      "the heap key");
+}
+
+void EventQueue::throw_inert_drift() {
+  throw std::logic_error(
+      "EventQueue: inert event count exceeds queue size — the cancelled/daemon bookkeeping "
+      "has drifted (double cancel accounting bug?)");
+}
+
+} // namespace switchml::sim

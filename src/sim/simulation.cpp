@@ -1,73 +1,20 @@
 #include "sim/simulation.hpp"
 
 #include <stdexcept>
-#include <utility>
 
 namespace switchml::sim {
 
-void Simulation::schedule_at(Time at, std::function<void()> fn) {
+void Simulation::check_not_past(Time at) const {
   if (at < now_) throw std::invalid_argument("Simulation::schedule_at: time in the past");
-  queue_.push(Event{at, next_seq_++, std::move(fn), kNoTimer, 0});
-}
-
-std::uint32_t Simulation::acquire_timer_slot() {
-  if (!free_timer_slots_.empty()) {
-    const std::uint32_t slot = free_timer_slots_.back();
-    free_timer_slots_.pop_back();
-    return slot;
-  }
-  const auto slot = static_cast<std::uint32_t>(timer_slots_.size());
-  timer_slots_.emplace_back();
-  return slot;
-}
-
-TimerHandle Simulation::schedule_timer(Time delay, std::function<void()> fn) {
-  const std::uint32_t slot = acquire_timer_slot();
-  TimerSlot& ts = timer_slots_[slot];
-  ts.armed = true;
-  ts.daemon = false;
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), slot, ts.gen});
-  return TimerHandle(this, slot, ts.gen);
-}
-
-TimerHandle Simulation::schedule_daemon_timer(Time delay, std::function<void()> fn) {
-  const std::uint32_t slot = acquire_timer_slot();
-  TimerSlot& ts = timer_slots_[slot];
-  ts.armed = true;
-  ts.daemon = true;
-  ++inert_; // daemons never count as live work
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn), slot, ts.gen});
-  return TimerHandle(this, slot, ts.gen);
 }
 
 bool Simulation::dispatch_one() {
-  // const_cast is safe: we pop immediately after moving the closure out, and
-  // the heap ordering does not depend on `fn`.
-  Event& top = const_cast<Event&>(queue_.top());
-  bool cancelled = false;
-  if (top.timer_slot != kNoTimer) {
-    TimerSlot& ts = timer_slots_[top.timer_slot];
-    cancelled = !ts.armed;
-    // An inert event (cancelled, or a daemon) is leaving the queue.
-    inert_ -= static_cast<std::uint64_t>(cancelled | ts.daemon);
-    // The slot's one queued event is popping now: invalidate outstanding
-    // handles and recycle the slot.
-    ++ts.gen;
-    ts.armed = false;
-    free_timer_slots_.push_back(top.timer_slot);
-  }
-  if (cancelled) {
-    // Cancelled timers are skipped without advancing the clock: nothing
-    // observable happens at their expiry time.
-    queue_.pop();
-    return false;
-  }
-  now_ = top.at;
-  std::function<void()> fn = std::move(top.fn);
-  queue_.pop();
-  fn();
-  ++executed_;
-  return true;
+  // Cancelled timers are skipped without advancing the clock: nothing
+  // observable happens at their expiry time. Live closures run in place in
+  // the slab (no relocation); the clock advances just before the call.
+  const bool ran = queue_.pop_and_run([this](Time at) { now_ = at; });
+  executed_ += static_cast<std::uint64_t>(ran);
+  return ran;
 }
 
 std::uint64_t Simulation::run() {
@@ -82,7 +29,7 @@ std::uint64_t Simulation::run() {
 std::uint64_t Simulation::run_until(Time deadline) {
   std::uint64_t n = 0;
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().at <= deadline) {
+  while (!queue_.empty() && !stopped_ && queue_.next_time() <= deadline) {
     if (dispatch_one()) ++n;
   }
   if (now_ < deadline && !stopped_) now_ = deadline;

@@ -3,14 +3,20 @@
 // A Simulation owns a virtual clock (integer nanoseconds) and a time-ordered
 // event queue. Events scheduled for the same instant run in scheduling order
 // (FIFO tie-break), which keeps runs deterministic.
+//
+// The queue itself is an EventQueue (sim/event_queue.hpp): a recycling slab
+// of allocation-free EventFn closures ordered by an intrusive 4-ary min-heap
+// over 16-byte keys. Scheduling an event therefore never heap-allocates
+// (beyond amortized slab/heap growth), and the Simulation is a thin facade —
+// clock, run loop, and the daemon/live-work contract — over the queue seam
+// that a future sharded (per-rack) engine will plug into.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/units.hpp"
+#include "sim/event_fn.hpp"
+#include "sim/event_queue.hpp"
 
 namespace switchml::sim {
 
@@ -19,29 +25,29 @@ using switchml::Time;
 class Simulation;
 
 // Handle to a scheduled event that may be cancelled (used for protocol
-// retransmission timers). Cancellation is O(1): the event stays queued but is
-// skipped when popped.
+// retransmission timers). Cancellation is O(1): the closure is destroyed
+// immediately in the slab and the queued heap key pops later as a no-op.
 //
-// The handle is a (slot, generation) pair into a pool inside the Simulation
-// rather than a shared_ptr control block, so scheduling a timer does no heap
-// allocation beyond the event queue itself. A slot is recycled only when its
-// event pops, and popping bumps the generation, so stale handles (cancel or
-// armed() after the timer fired) are detected and inert.
+// The handle is a (slot, generation) ref into the EventQueue's slab rather
+// than a shared_ptr control block, so scheduling a timer does no heap
+// allocation. A slot is recycled only when its event pops, and popping bumps
+// the generation, so stale handles (cancel or armed() after the timer fired)
+// are detected and inert.
 class TimerHandle {
 public:
   TimerHandle() = default;
 
-  void cancel();
-  [[nodiscard]] bool armed() const;
+  void cancel() {
+    if (queue_ != nullptr) queue_->cancel(ref_);
+  }
+  [[nodiscard]] bool armed() const { return queue_ != nullptr && queue_->armed(ref_); }
 
 private:
   friend class Simulation;
-  TimerHandle(Simulation* sim, std::uint32_t slot, std::uint32_t gen)
-      : sim_(sim), slot_(slot), gen_(gen) {}
+  TimerHandle(EventQueue* queue, EventQueue::Ref ref) : queue_(queue), ref_(ref) {}
 
-  Simulation* sim_ = nullptr;
-  std::uint32_t slot_ = 0;
-  std::uint32_t gen_ = 0;
+  EventQueue* queue_ = nullptr;
+  EventQueue::Ref ref_{};
 };
 
 class Simulation {
@@ -52,23 +58,37 @@ public:
 
   [[nodiscard]] Time now() const { return now_; }
 
-  // Schedules `fn` to run at absolute time `at` (>= now).
-  void schedule_at(Time at, std::function<void()> fn);
+  // Schedules `fn` to run at absolute time `at` (>= now). The callable must
+  // fit EventFn's inline buffer (48 bytes, compile-time checked): it is
+  // constructed straight into the event slab, so scheduling never
+  // heap-allocates.
+  template <typename F>
+  void schedule_at(Time at, F&& fn) {
+    check_not_past(at);
+    queue_.push(at, std::forward<F>(fn));
+  }
 
   // Schedules `fn` to run `delay` ns from now.
-  void schedule_after(Time delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule_after(Time delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   // Schedules a cancellable event.
-  TimerHandle schedule_timer(Time delay, std::function<void()> fn);
+  template <typename F>
+  TimerHandle schedule_timer(Time delay, F&& fn) {
+    return TimerHandle(&queue_, queue_.push_timer(now_ + delay, std::forward<F>(fn), false));
+  }
 
   // Schedules a cancellable *daemon* event: one that does not count as live
   // work (see live_pending_events). Periodic background activities (e.g. the
   // telemetry sampler in common/timeline.hpp) use daemon timers so they can
   // observe "has the simulation any real work left?" and stop re-arming,
   // letting run() drain naturally instead of ticking forever.
-  TimerHandle schedule_daemon_timer(Time delay, std::function<void()> fn);
+  template <typename F>
+  TimerHandle schedule_daemon_timer(Time delay, F&& fn) {
+    return TimerHandle(&queue_, queue_.push_timer(now_ + delay, std::forward<F>(fn), true));
+  }
 
   // Runs until the queue is empty or stop() is called. Returns the number of
   // events executed.
@@ -86,66 +106,19 @@ public:
 
   // Queued events that will still do observable work: excludes cancelled
   // timers (queued but inert) and daemon events. Zero means the simulation
-  // would go quiet if nothing else is scheduled.
-  [[nodiscard]] std::uint64_t live_pending_events() const { return queue_.size() - inert_; }
+  // would go quiet if nothing else is scheduled. Throws std::logic_error if
+  // the inert bookkeeping ever drifts past the queue size (instead of the
+  // silent unsigned wrap a subtraction would produce).
+  [[nodiscard]] std::uint64_t live_pending_events() const { return queue_.live(); }
 
 private:
-  friend class TimerHandle;
-
-  static constexpr std::uint32_t kNoTimer = UINT32_MAX;
-
-  struct TimerSlot {
-    std::uint32_t gen = 0; // bumped when the slot's event pops => handles stale
-    bool armed = false;
-    bool daemon = false; // daemon timers count as inert from the start
-  };
-
-  struct Event {
-    Time at;
-    std::uint64_t seq; // FIFO tie-break for same-time events
-    std::function<void()> fn;
-    std::uint32_t timer_slot = kNoTimer; // kNoTimer => not cancellable
-    std::uint32_t timer_gen = 0;
-
-    // std::priority_queue is a max-heap; invert so the earliest event pops first.
-    bool operator<(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
-    }
-  };
-
   bool dispatch_one();
-  std::uint32_t acquire_timer_slot();
+  void check_not_past(Time at) const;
 
-  [[nodiscard]] bool timer_live(std::uint32_t slot, std::uint32_t gen) const {
-    return slot < timer_slots_.size() && timer_slots_[slot].gen == gen;
-  }
-
-  std::priority_queue<Event> queue_;
-  std::vector<TimerSlot> timer_slots_;
-  std::vector<std::uint32_t> free_timer_slots_;
+  EventQueue queue_;
   Time now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  // Queued events that will never do work: cancelled timers plus daemons.
-  // Tracked on the rare paths (cancel, daemon scheduling, inert pops) so the
-  // hot schedule/dispatch paths stay untouched.
-  std::uint64_t inert_ = 0;
   bool stopped_ = false;
 };
-
-inline void TimerHandle::cancel() {
-  if (!sim_ || !sim_->timer_live(slot_, gen_)) return;
-  auto& ts = sim_->timer_slots_[slot_];
-  // The queued event stays behind as a no-op and becomes inert — unless it
-  // already was (double cancel, or a daemon). Branchless: cancel sits on the
-  // retransmission fast path.
-  sim_->inert_ += static_cast<std::uint64_t>(ts.armed & !ts.daemon);
-  ts.armed = false;
-}
-
-inline bool TimerHandle::armed() const {
-  return sim_ && sim_->timer_live(slot_, gen_) && sim_->timer_slots_[slot_].armed;
-}
 
 } // namespace switchml::sim
