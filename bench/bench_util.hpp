@@ -6,9 +6,11 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -20,9 +22,11 @@
 #include "collectives/ps.hpp"
 #include "collectives/ring.hpp"
 #include "collectives/streaming_ps.hpp"
+#include "common/attribution.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timeline.hpp"
+#include "common/tracing.hpp"
 #include "core/allreduce.hpp"
 #include "core/cluster.hpp"
 #include "core/profiles.hpp"
@@ -48,6 +52,22 @@ inline std::string arg_value(int argc, char** argv, const char* flag) {
   return {};
 }
 
+// Runtime trace-category mask from `--trace-mask NAMES` (comma-separated
+// category names — "switch,worker,link,transport,fault,flow" — or "all");
+// `fallback` applies when the flag is absent. An unknown name aborts with the
+// parser's message listing the valid categories, so a typo can't silently
+// record the wrong (or no) events.
+inline unsigned trace_mask_from_args(int argc, char** argv, unsigned fallback = trace::kCatAll) {
+  const std::string names = arg_value(argc, argv, "--trace-mask");
+  if (names.empty()) return fallback;
+  try {
+    return trace::parse_mask(names);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "--trace-mask: %s\n", e.what());
+    std::exit(2);
+  }
+}
+
 // Shared handling for the benches' `--timeline-out PREFIX` flag: each labeled
 // run writes a TimelineRecorder sidecar to "<PREFIX>_<label>.jsonl" (or .csv
 // when PREFIX ends in ".csv"). Empty prefix disables recording entirely.
@@ -58,7 +78,24 @@ struct TimelineRequest {
   static TimelineRequest from_args(int argc, char** argv, Time period = msec(1)) {
     TimelineRequest req{arg_value(argc, argv, "--timeline-out"), period};
     const std::string us = arg_value(argc, argv, "--timeline-period-us");
-    if (!us.empty()) req.period = usec(std::stoll(us));
+    if (!us.empty()) {
+      long long parsed = 0;
+      try {
+        std::size_t consumed = 0;
+        parsed = std::stoll(us, &consumed);
+        if (consumed != us.size()) parsed = 0;
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+      if (parsed <= 0) {
+        std::fprintf(stderr,
+                     "--timeline-period-us: '%s' is not a positive integer microsecond "
+                     "period (a period of 0 or less would never sample)\n",
+                     us.c_str());
+        std::exit(2);
+      }
+      req.period = usec(parsed);
+    }
     return req;
   }
   [[nodiscard]] bool enabled() const { return !prefix.empty(); }
@@ -178,6 +215,53 @@ private:
   std::string bench_, mode_, path_;
   std::vector<std::pair<std::string, Metric>> metrics_;
   std::vector<std::pair<std::string, std::string>> info_;
+};
+
+// --- critical-path time attribution ------------------------------------------
+
+// Installs a SpanLedger over one measured run so every chunk's completion time
+// is decomposed into the attribution components (DESIGN.md "Time
+// attribution"). Construct BEFORE the cluster under test: the fabric registers
+// its attr.* counters only when a ledger is ambient at construction, which
+// keeps untouched runs' metric registries bit-identical. No-op (and
+// ledger() == nullptr) when SWITCHML_ATTRIBUTION=0 compiles the ledger out.
+class ScopedAttribution {
+public:
+  explicit ScopedAttribution(std::size_t record_capacity = 1u << 16) {
+    if constexpr (attr::kCompiledIn) {
+      ledger_ = std::make_unique<attr::SpanLedger>(record_capacity);
+      scope_ = std::make_unique<attr::SpanLedger::Scope>(ledger_.get());
+    }
+  }
+
+  [[nodiscard]] attr::SpanLedger* ledger() { return ledger_.get(); }
+
+  // Folds the run's component totals into the report as sim-deterministic
+  // metrics: "<label>.attr.<component>_ns" for all ten components, the
+  // chunk count, and the conservation guard (max_residual_ns, exactly 0 —
+  // the components partition each chunk's [open, close] span by
+  // construction, and the recorded baselines pin that invariant).
+  void report(BenchReport& report, const std::string& label) const {
+    if (!ledger_) return;
+    const std::string prefix = (label.empty() ? "" : label + ".") + "attr.";
+    for (std::size_t c = 0; c < attr::kComponentCount; ++c) {
+      const auto comp = static_cast<attr::Component>(c);
+      report.add(prefix + attr::to_string(comp) + "_ns",
+                 static_cast<double>(ledger_->total(comp)));
+    }
+    report.add(prefix + "chunks_closed", static_cast<double>(ledger_->chunks_closed()));
+    report.add(prefix + "max_residual_ns", static_cast<double>(ledger_->max_residual_ns()));
+  }
+
+  // Writes the per-chunk span records (one JSON object per line) for the
+  // offline extractor, scripts/critical_path.py.
+  void write_jsonl(const std::string& path) const {
+    if (ledger_ && !path.empty()) ledger_->write_jsonl(path);
+  }
+
+private:
+  std::unique_ptr<attr::SpanLedger> ledger_;
+  std::unique_ptr<attr::SpanLedger::Scope> scope_;
 };
 
 // Merges every registered histogram whose name ends in `suffix` (e.g.

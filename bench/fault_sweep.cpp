@@ -99,16 +99,25 @@ int main(int argc, char** argv) {
   const TimelineRequest timeline_req = TimelineRequest::from_args(argc, argv, msec(1));
   BenchReport report("fault_sweep", argc, argv);
 
-  // Perfetto export of every fault event across all runs. The runtime mask
-  // keeps only kCatFault (link_down/up, straggler_on/off, burst_begin,
+  // Perfetto export of every fault event across all runs. The default runtime
+  // mask keeps only kCatFault (link_down/up, straggler_on/off, burst_begin,
   // switch_restart): with all categories on, regular traffic would fill the
-  // buffer long before the later fault edges fire.
-  auto sink = std::make_unique<trace::TraceSink>(fast ? (1u << 16) : (1u << 20),
-                                                trace::kCatFault);
+  // buffer long before the later fault edges fire. `--trace-mask NAMES`
+  // overrides it (e.g. --trace-mask fault,flow to add per-chunk flow arrows).
+  auto sink = std::make_unique<trace::TraceSink>(
+      fast ? (1u << 16) : (1u << 20), trace_mask_from_args(argc, argv, trace::kCatFault));
   trace::TraceSink::Scope trace_scope(sink.get());
 
-  const FaultResult clean = measure_faulted(rate, workers, scale.tensor_elems, {}, &sidecar,
-                                            "clean", &timeline_req);
+  // The clean and Gilbert-Elliott runs carry the per-chunk span ledger; the
+  // report's attr.* blocks decompose completion time (DESIGN.md "Time
+  // attribution") and pin max_residual_ns == 0 in the recorded baseline.
+  FaultResult clean;
+  {
+    ScopedAttribution attrib;
+    clean = measure_faulted(rate, workers, scale.tensor_elems, {}, &sidecar,
+                            "clean", &timeline_req);
+    attrib.report(report, "clean");
+  }
   report.add("clean.tat_ms", clean.rate.tat_ms);
   report.add("clean.tat_max_ms", clean.tat_max_ms);
   std::printf("clean TAT: %s (max %s)\n\n",
@@ -191,8 +200,14 @@ int main(int argc, char** argv) {
   const double matched = 0.25 * 0.002 / 0.102;
   core::FaultPlan ge_plan;
   ge_plan.bursts.push_back({-1, net::BurstLossConfig{0.002, 0.1, 0.0, 0.25}});
-  const FaultResult ge = measure_faulted(rate, workers, scale.tensor_elems, ge_plan, &sidecar,
-                                         "gilbert-elliott", &timeline_req);
+  FaultResult ge;
+  {
+    ScopedAttribution attrib;
+    ge = measure_faulted(rate, workers, scale.tensor_elems, ge_plan, &sidecar,
+                         "gilbert-elliott", &timeline_req);
+    attrib.report(report, "gilbert-elliott");
+    attrib.write_jsonl("fault_sweep_attribution.jsonl");
+  }
   const RateResult bern = measure_switchml(rate, workers, scale, 0, false, matched, 4, 0.0,
                                            false, &sidecar, "bernoulli-matched", &timeline_req);
   std::printf("burst loss (both ~%.2f%% average):\n", matched * 100);

@@ -25,9 +25,17 @@ int main(int argc, char** argv) {
   const RateResult base_fixed_r =
       measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, false, &sidecar,
                        "loss-0.00pct.switchml-fixed-rto");
-  const RateResult base_adapt_r =
-      measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, true, &sidecar,
-                       "loss-0.00pct.switchml-adaptive-rto");
+  // The loss-free and 1%-loss adaptive-RTO runs also carry the per-chunk
+  // span ledger: the report's attr.* block decomposes completion time into
+  // exclusive components (DESIGN.md "Time attribution") and pins the
+  // conservation invariant (max_residual_ns == 0) in the recorded baseline.
+  RateResult base_adapt_r;
+  {
+    ScopedAttribution attrib;
+    base_adapt_r = measure_switchml(rate, workers, scale, 0, false, 0.0, 4, 0.0, true, &sidecar,
+                                    "loss-0.00pct.switchml-adaptive-rto");
+    attrib.report(report, "loss-0.00pct.switchml-adaptive-rto");
+  }
   const double base_fixed = base_fixed_r.tat_ms;
   const double base_adapt = base_adapt_r.tat_ms;
   const double base_gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale).tat_ms;
@@ -65,9 +73,27 @@ int main(int argc, char** argv) {
     const RateResult fixed_r =
         measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, false, &sidecar,
                          tag + "switchml-fixed-rto", &timeline_req);
-    const RateResult adapt_r =
-        measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, true, &sidecar,
-                         tag + "switchml-adaptive-rto", &timeline_req);
+    RateResult adapt_r;
+    {
+      ScopedAttribution attrib;
+      adapt_r = measure_switchml(rate, workers, scale, 0, false, loss, 4, 0.0, true, &sidecar,
+                                 tag + "switchml-adaptive-rto", &timeline_req);
+      if (loss == 0.01) {
+        attrib.report(report, tag + "switchml-adaptive-rto");
+        attrib.write_jsonl("fig5_attribution.jsonl");
+        if (const attr::SpanLedger* l = attrib.ledger()) {
+          const double tot = static_cast<double>(l->total_ns());
+          std::printf("chunk-time attribution at 1%% loss (adaptive RTO, >=1%% shares): ");
+          for (std::size_t c = 0; c < attr::kComponentCount; ++c) {
+            const auto comp = static_cast<attr::Component>(c);
+            const double share =
+                tot > 0 ? 100.0 * static_cast<double>(l->total(comp)) / tot : 0.0;
+            if (share >= 1.0) std::printf("%s %.0f%%  ", attr::to_string(comp), share);
+          }
+          std::printf("-> fig5_attribution.jsonl\n");
+        }
+      }
+    }
     const double fixed = fixed_r.tat_ms;
     const double adapt = adapt_r.tat_ms;
     const double gloo = measure_baseline(BaselineKind::GlooRing, rate, workers, scale, loss,

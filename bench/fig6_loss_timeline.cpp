@@ -51,7 +51,10 @@ int main(int argc, char** argv) {
     std::unique_ptr<trace::TraceSink> sink;
     std::unique_ptr<trace::TraceSink::Scope> scope;
     if (traced) {
-      sink = std::make_unique<trace::TraceSink>(fast ? (1u << 16) : (1u << 20));
+      // All categories by default; `--trace-mask NAMES` narrows (e.g.
+      // --trace-mask worker,flow keeps the per-chunk flow arrows readable).
+      sink = std::make_unique<trace::TraceSink>(
+          fast ? (1u << 16) : (1u << 20), trace_mask_from_args(argc, argv, trace::kCatAll));
       scope = std::make_unique<trace::TraceSink::Scope>(sink.get());
     }
 

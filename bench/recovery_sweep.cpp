@@ -79,8 +79,17 @@ int main(int argc, char** argv) {
   MetricsSidecar sidecar("recovery_sweep_metrics.json");
   BenchReport report("recovery_sweep", argc, argv);
 
-  const RecoveryResult clean =
-      measure_rack(rate, workers, scale.tensor_elems, {}, &sidecar, "clean");
+  // The clean, restart-50pct, and kill-rack runs carry the per-chunk span
+  // ledger; kill-rack is the interesting one — its attr block shows the
+  // recovery/fallback components (retry burn, PS replay) that the honest
+  // inflation number folds into one scalar. Each report also pins the
+  // conservation invariant (max_residual_ns == 0) in the recorded baseline.
+  RecoveryResult clean;
+  {
+    ScopedAttribution attrib;
+    clean = measure_rack(rate, workers, scale.tensor_elems, {}, &sidecar, "clean");
+    attrib.report(report, "clean");
+  }
   report.add("clean.tat_max_ms", clean.tat_max_ms);
   std::printf("clean TAT: %s\n\n",
               format_duration(static_cast<Time>(clean.tat_max_ms * 1e6)).c_str());
@@ -113,8 +122,12 @@ int main(int argc, char** argv) {
     core::FaultPlan plan = burst_plan;
     plan.switch_restarts.push_back({0, static_cast<Time>(frac * static_cast<double>(burst_max))});
     const std::string tag = "restart-" + Table::num(frac * 100, 0) + "pct";
-    const RecoveryResult r =
-        measure_rack(rate, workers, scale.tensor_elems, plan, &sidecar, tag);
+    RecoveryResult r;
+    {
+      ScopedAttribution attrib;
+      r = measure_rack(rate, workers, scale.tensor_elems, plan, &sidecar, tag);
+      if (frac == 0.50) attrib.report(report, tag);
+    }
     const double inflation = r.tat_max_ms / burst_only.tat_max_ms;
     restarts.add_row({Table::num(frac * 100, 0) + "% of lossy TAT",
                       format_duration(static_cast<Time>(r.tat_max_ms * 1e6)),
@@ -141,8 +154,13 @@ int main(int argc, char** argv) {
   {
     core::FaultPlan plan;
     plan.switch_kills.push_back({0, clean_max / 2});
-    const RecoveryResult r =
-        measure_rack(rate, workers, scale.tensor_elems, plan, &sidecar, "kill-rack");
+    RecoveryResult r;
+    {
+      ScopedAttribution attrib;
+      r = measure_rack(rate, workers, scale.tensor_elems, plan, &sidecar, "kill-rack");
+      attrib.report(report, "kill-rack");
+      attrib.write_jsonl("recovery_sweep_attribution.jsonl");
+    }
     const double inflation = r.tat_max_ms / clean.tat_max_ms;
     kills.add_row({"rack (8 workers)", format_duration(static_cast<Time>(r.tat_max_ms * 1e6)),
                    Table::num(inflation, 2) + "x", r.fallbacks ? "engaged" : "NO"});

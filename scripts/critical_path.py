@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Critical-path report from a SpanLedger attribution JSONL sidecar.
+
+Usage:
+  critical_path.py ATTRIBUTION_JSONL [--top N] [--json]
+  critical_path.py --selftest
+
+The input is what a bench writes via ScopedAttribution::write_jsonl (or
+SpanLedger::write_jsonl): one JSON object per finished chunk,
+
+  {"node": 3, "slot": 17, "off": 262144, "start_ns": ..., "end_ns": ...,
+   "ns": {"host_tx": ..., "link_queue": ..., ..., "fallback": ...}}
+
+plus an optional trailing {"records_dropped": N} marker. The components of
+each record partition the chunk's [start_ns, end_ns] span exactly (the
+simulator maintains this by construction — see DESIGN.md "Time attribution"),
+which is what makes the analysis here sound: summing a component across
+chunks is summing real, non-overlapping wall-clock time.
+
+The report answers "where did the time go":
+  * aggregate per-component totals and shares across all chunks;
+  * the critical worker — the node whose last chunk finishes latest; the
+    tensor aggregation time IS that node's makespan, so only its chunks can
+    be blamed for end-to-end latency — with its own component breakdown;
+  * the top-N slowest chunks with their dominant components.
+
+Exit codes: 0 = report printed, 1 = conservation violated (a record's
+components do not sum to its span) or records were dropped, 2 = usage /
+unreadable input.
+"""
+
+import json
+import sys
+
+COMPONENTS = [
+    "host_tx", "link_queue", "wire", "prop", "switch_wait",
+    "switch_ready", "host_rx", "rto_stall", "recovery", "fallback",
+]
+
+
+def load_records(path):
+    """Returns (records, dropped): parsed chunk records + drop marker count."""
+    records, dropped = [], 0
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"critical_path: {path}:{lineno}: bad JSON: {e}")
+                if "records_dropped" in obj:
+                    dropped += int(obj["records_dropped"])
+                    continue
+                for key in ("node", "slot", "off", "start_ns", "end_ns", "ns"):
+                    if key not in obj:
+                        raise SystemExit(
+                            f"critical_path: {path}:{lineno}: record missing {key!r}"
+                        )
+                records.append(obj)
+    except OSError as e:
+        raise SystemExit(f"critical_path: cannot read {path}: {e}")
+    return records, dropped
+
+
+def check_conservation(records):
+    """Returns violations: records whose components don't sum to their span."""
+    bad = []
+    for r in records:
+        span = r["end_ns"] - r["start_ns"]
+        total = sum(int(r["ns"].get(c, 0)) for c in COMPONENTS)
+        if total != span:
+            bad.append((r, span, total))
+    return bad
+
+
+def component_totals(records):
+    totals = {c: 0 for c in COMPONENTS}
+    for r in records:
+        for c in COMPONENTS:
+            totals[c] += int(r["ns"].get(c, 0))
+    return totals
+
+
+def critical_node(records):
+    """The node whose last chunk completes latest; ties break to smaller id."""
+    makespan = {}
+    for r in records:
+        node = r["node"]
+        makespan[node] = max(makespan.get(node, 0), r["end_ns"])
+    if not makespan:
+        return None, 0
+    node = max(sorted(makespan), key=lambda n: makespan[n])
+    return node, makespan[node]
+
+
+def slowest_chunks(records, top):
+    return sorted(records, key=lambda r: r["end_ns"] - r["start_ns"], reverse=True)[:top]
+
+
+def dominant(ns):
+    """(component, share) contributing the most time to one chunk record."""
+    total = sum(int(ns.get(c, 0)) for c in COMPONENTS)
+    if total == 0:
+        return "-", 0.0
+    comp = max(COMPONENTS, key=lambda c: int(ns.get(c, 0)))
+    return comp, int(ns.get(comp, 0)) / total
+
+
+def analyze(records, dropped, top=10):
+    """Returns the full report as a JSON-serializable dict."""
+    totals = component_totals(records)
+    grand = sum(totals.values())
+    node, makespan_end = critical_node(records)
+    crit_records = [r for r in records if r["node"] == node]
+    crit_totals = component_totals(crit_records)
+    crit_grand = sum(crit_totals.values())
+
+    def shares(tot, denom):
+        return {
+            c: {"ns": tot[c], "share": (tot[c] / denom if denom else 0.0)}
+            for c in COMPONENTS
+        }
+
+    report = {
+        "chunks": len(records),
+        "records_dropped": dropped,
+        "total_ns": grand,
+        "components": shares(totals, grand),
+        "critical_node": node,
+        "critical_node_end_ns": makespan_end,
+        "critical_node_chunks": len(crit_records),
+        "critical_node_components": shares(crit_totals, crit_grand),
+        "slowest_chunks": [
+            {
+                "node": r["node"],
+                "slot": r["slot"],
+                "off": r["off"],
+                "span_ns": r["end_ns"] - r["start_ns"],
+                "dominant": dominant(r["ns"])[0],
+                "dominant_share": round(dominant(r["ns"])[1], 4),
+                "ns": {c: int(r["ns"].get(c, 0)) for c in COMPONENTS},
+            }
+            for r in slowest_chunks(records, top)
+        ],
+    }
+    return report
+
+
+def print_report(report, violations):
+    def fmt_shares(comp_block):
+        parts = []
+        for c in COMPONENTS:
+            e = comp_block[c]
+            if e["ns"] > 0:
+                parts.append(f"{c} {100.0 * e['share']:5.1f}% ({e['ns']} ns)")
+        return parts or ["(no time recorded)"]
+
+    print(f"chunks analyzed: {report['chunks']}"
+          + (f" ({report['records_dropped']} records dropped at capacity —"
+             " totals below undercount)" if report["records_dropped"] else ""))
+    print(f"total attributed time: {report['total_ns']} ns")
+    print("\nwhere the time went (all chunks):")
+    for line in fmt_shares(report["components"]):
+        print(f"  {line}")
+    if report["critical_node"] is not None:
+        print(f"\ncritical worker: node {report['critical_node']} "
+              f"(last chunk done at {report['critical_node_end_ns']} ns, "
+              f"{report['critical_node_chunks']} chunks)")
+        for line in fmt_shares(report["critical_node_components"]):
+            print(f"  {line}")
+    print(f"\ntop {len(report['slowest_chunks'])} slowest chunks:")
+    for s in report["slowest_chunks"]:
+        print(f"  node {s['node']} slot {s['slot']} off {s['off']}: "
+              f"{s['span_ns']} ns, mostly {s['dominant']} "
+              f"({100.0 * s['dominant_share']:.0f}%)")
+    if violations:
+        print(f"\nCONSERVATION VIOLATED in {len(violations)} record(s):")
+        for r, span, total in violations[:5]:
+            print(f"  node {r['node']} slot {r['slot']} off {r['off']}: "
+                  f"components sum to {total} ns but span is {span} ns")
+
+
+def selftest():
+    def rec(node, slot, off, start, ns):
+        span = sum(ns.get(c, 0) for c in COMPONENTS)
+        return {"node": node, "slot": slot, "off": off, "start_ns": start,
+                "end_ns": start + span, "ns": ns}
+
+    # Two workers; node 2 finishes later and is straggler-dominated.
+    records = [
+        rec(1, 0, 0, 100, {"host_tx": 50, "wire": 20, "switch_wait": 30}),
+        rec(1, 1, 64, 120, {"host_tx": 40, "prop": 10, "host_rx": 10}),
+        rec(2, 0, 0, 100, {"host_tx": 400, "rto_stall": 600}),
+    ]
+    bad = check_conservation(records)
+    assert not bad, "synthetic records must conserve"
+
+    totals = component_totals(records)
+    assert totals["host_tx"] == 490 and totals["rto_stall"] == 600
+
+    node, end = critical_node(records)
+    assert node == 2 and end == 1100, f"critical node must be 2 @ 1100, got {node} @ {end}"
+
+    report = analyze(records, dropped=0, top=2)
+    assert report["chunks"] == 3
+    assert report["total_ns"] == sum(totals.values())
+    assert report["critical_node_components"]["rto_stall"]["ns"] == 600
+    assert report["slowest_chunks"][0]["node"] == 2, "slowest chunk is the stalled one"
+    assert report["slowest_chunks"][0]["dominant"] == "rto_stall"
+    assert report["slowest_chunks"][0]["dominant_share"] == 0.6
+    assert len(report["slowest_chunks"]) == 2, "--top must bound the list"
+    # Shares sum to ~1 over the nonzero components.
+    assert abs(sum(e["share"] for e in report["components"].values()) - 1.0) < 1e-12
+
+    # A cooked record (one ns inflated) must trip the conservation check.
+    broken = [dict(records[0], ns=dict(records[0]["ns"], wire=21))]
+    bad = check_conservation(broken)
+    assert len(bad) == 1 and bad[0][1] == 100 and bad[0][2] == 101
+
+    # Ledger truncation marker is surfaced, never silently folded in.
+    report = analyze(records, dropped=7)
+    assert report["records_dropped"] == 7
+
+    # Empty input stays well-formed (no division by zero, no critical node).
+    report = analyze([], dropped=0)
+    assert report["critical_node"] is None and report["total_ns"] == 0
+
+    print("critical_path selftest: OK")
+
+
+def main(argv):
+    if "--selftest" in argv:
+        selftest()
+        return 0
+    top = 10
+    as_json = "--json" in argv
+    paths = []
+    skip = False
+    for i, a in enumerate(argv):
+        if skip:
+            skip = False
+            continue
+        if a == "--json":
+            continue
+        if a == "--top":
+            if i + 1 >= len(argv) or not argv[i + 1].isdigit():
+                print("critical_path: --top needs a positive integer", file=sys.stderr)
+                return 2
+            top = int(argv[i + 1])
+            skip = True
+        elif a.startswith("--top="):
+            value = a.split("=", 1)[1]
+            if not value.isdigit() or int(value) <= 0:
+                print("critical_path: --top needs a positive integer", file=sys.stderr)
+                return 2
+            top = int(value)
+        elif a.startswith("--"):
+            print(f"critical_path: unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(a)
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    records, dropped = load_records(paths[0])
+    violations = check_conservation(records)
+    report = analyze(records, dropped, top)
+    if as_json:
+        report["conservation_violations"] = len(violations)
+        print(json.dumps(report, indent=2))
+    else:
+        print_report(report, violations)
+    return 1 if violations or dropped else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

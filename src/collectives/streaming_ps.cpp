@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/attribution.hpp"
+
 namespace switchml::collectives {
 
 // ---------------------------------------------------------- SoftwareAggregator
@@ -59,6 +61,30 @@ SoftwareAggregator::Outcome SoftwareAggregator::process(const net::Packet& p) {
 
 namespace {
 
+// PS shards attribute slot dwell exactly like the hardware switch does:
+// contributions enter kSwitchWait, completion moves every contributor to
+// kSwitchReady, duplicates re-enter the phase the slot is actually in.
+void attribute_outcome(net::NodeId shard, const net::Packet& p,
+                       SoftwareAggregator::Outcome::Kind kind, Time now) {
+  if (!attr::enabled()) return;
+  using Kind = SoftwareAggregator::Outcome::Kind;
+  switch (kind) {
+    case Kind::Absorbed:
+      attr::contribute(shard, p.job, p.ver & 1u, p.idx, p.src, p.off, now);
+      break;
+    case Kind::Completed:
+      attr::contribute(shard, p.job, p.ver & 1u, p.idx, p.src, p.off, now);
+      attr::complete_slot(shard, p.job, p.ver & 1u, p.idx, p.off, now);
+      break;
+    case Kind::ReplyStored:
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kSwitchReady, now);
+      break;
+    case Kind::Ignored:
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kSwitchWait, now);
+      break;
+  }
+}
+
 net::Packet make_result(const net::Packet& update, net::NodeId src, net::NodeId dst,
                         const std::vector<std::int32_t>& values) {
   net::Packet r;
@@ -108,6 +134,7 @@ void PsShardNode::receive(net::Packet&& p, int /*port*/) {
 void PsShardNode::handle(net::Packet&& p) {
   if (!p.verify()) return; // §3.4: corrupted update, worker timer repairs it
   auto outcome = aggregator_.process(p);
+  attribute_outcome(id(), p, outcome.kind, sim_.now());
   const int core = core_of(p.idx);
   if (outcome.kind == SoftwareAggregator::Outcome::Kind::Completed) {
     // One unicast result per worker (software PS has no traffic manager).
@@ -155,6 +182,7 @@ void PsColocatedHost::receive(net::Packet&& p, int port) {
 void PsColocatedHost::handle_shard(net::Packet&& p) {
   if (!p.verify()) return; // §3.4: corrupted update, worker timer repairs it
   auto outcome = aggregator_.process(p);
+  attribute_outcome(id(), p, outcome.kind, simulation().now());
   const int core = shard_core_of(p.idx);
   if (outcome.kind == SoftwareAggregator::Outcome::Kind::Completed) {
     for (net::NodeId w : worker_ids_) {

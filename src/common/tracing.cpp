@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/log.hpp"
 #include "common/metrics.hpp"
 
 namespace switchml::trace {
@@ -17,7 +18,7 @@ TraceSink*& ambient_sink() {
 }
 
 constexpr const char* kCategoryNames[kCategoryCount] = {"switch", "worker", "link", "transport",
-                                                        "fault"};
+                                                        "fault",  "flow"};
 
 // Index of the lowest set bit; events carry exactly one category bit.
 int cat_index(unsigned cat) {
@@ -27,6 +28,37 @@ int cat_index(unsigned cat) {
 }
 
 } // namespace
+
+unsigned parse_mask(std::string_view names) {
+  unsigned mask = 0;
+  std::size_t pos = 0;
+  while (pos <= names.size()) {
+    const std::size_t comma = names.find(',', pos);
+    const std::string_view tok =
+        names.substr(pos, comma == std::string_view::npos ? names.size() - pos : comma - pos);
+    pos = comma == std::string_view::npos ? names.size() + 1 : comma + 1;
+    if (tok.empty()) continue;
+    if (tok == "all") {
+      mask |= kCatAll;
+      continue;
+    }
+    bool found = false;
+    for (unsigned i = 0; i < kCategoryCount; ++i) {
+      if (tok == kCategoryNames[i]) {
+        mask |= 1u << i;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      throw std::invalid_argument("unknown trace category '" + std::string(tok) +
+                                  "' (expected switch, worker, link, transport, fault, flow, "
+                                  "or all)");
+  }
+  return mask;
+}
+
+const char* category_name(unsigned cat) { return kCategoryNames[cat_index(cat)]; }
 
 TraceSink::TraceSink(std::size_t capacity, unsigned mask) : mask_(mask), capacity_(capacity) {
   events_.reserve(capacity_);
@@ -38,7 +70,16 @@ void TraceSink::record(unsigned cat, Time ts, std::uint32_t node, const char* na
     ++drops_[cat_index(cat)];
     return;
   }
-  events_.push_back(Event{ts, node, cat, name, a0, a1, a2});
+  events_.push_back(Event{ts, node, cat, name, a0, a1, a2, 0, FlowPhase::kNone});
+}
+
+void TraceSink::record_flow(unsigned cat, Time ts, std::uint32_t node, const char* name,
+                            std::uint64_t flow_id, FlowPhase phase) {
+  if (events_.size() >= capacity_) {
+    ++drops_[cat_index(cat)];
+    return;
+  }
+  events_.push_back(Event{ts, node, cat, name, {}, {}, {}, flow_id, phase});
 }
 
 void TraceSink::register_actor(std::uint32_t id, std::string name) {
@@ -77,6 +118,18 @@ std::string TraceSink::chrome_json() const {
     // Chrome trace timestamps are microseconds; keep ns resolution as a
     // fractional part.
     std::snprintf(ts_buf, sizeof(ts_buf), "%.3f", static_cast<double>(e.ts) / 1e3);
+    if (e.flow != FlowPhase::kNone) {
+      // Flow events bind by (cat, name, id) and render as arrows between the
+      // actors they touch; "bp":"e" attaches the terminating step to the
+      // enclosing slice the way Perfetto expects.
+      const char ph = e.flow == FlowPhase::kStart ? 's' : e.flow == FlowPhase::kStep ? 't' : 'f';
+      out << "{\"name\":" << json_quote(e.name) << ",\"ph\":\"" << ph
+          << "\",\"id\":" << e.flow_id << ",\"pid\":1,\"tid\":" << e.node << ",\"ts\":" << ts_buf
+          << ",\"cat\":\"" << kCategoryNames[cat_index(e.cat)] << '"';
+      if (ph == 'f') out << ",\"bp\":\"e\"";
+      out << "}";
+      continue;
+    }
     out << "{\"name\":" << json_quote(e.name) << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":"
         << e.node << ",\"ts\":" << ts_buf << ",\"cat\":\""
         << kCategoryNames[cat_index(e.cat)] << "\",\"args\":{";
@@ -95,6 +148,17 @@ std::string TraceSink::chrome_json() const {
     out << "\"dropped_" << kCategoryNames[i] << "\":" << drops_[i];
   }
   out << "}}";
+  if (total_drops() > 0 && log_level() <= LogLevel::Warn) {
+    LogLine warn(LogLevel::Warn);
+    warn << "TraceSink: exported trace is truncated — " << total_drops()
+         << " event(s) dropped at capacity " << capacity_ << " (";
+    for (unsigned i = 0, n = 0; i < kCategoryCount; ++i) {
+      if (drops_[i] == 0) continue;
+      if (n++ != 0) warn << ", ";
+      warn << kCategoryNames[i] << ": " << drops_[i];
+    }
+    warn << "); raise the sink capacity or narrow the category mask";
+  }
   return out.str();
 }
 

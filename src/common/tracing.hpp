@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -36,15 +37,25 @@ inline constexpr unsigned kCatWorker = 1u << 1;    // send/recv/retransmit/timeo
 inline constexpr unsigned kCatLink = 1u << 2;      // enqueue/deliver/drop
 inline constexpr unsigned kCatTransport = 1u << 3; // reliable-transport segments/acks
 inline constexpr unsigned kCatFault = 1u << 4;     // fault injection: flaps/stragglers/restarts
-inline constexpr unsigned kCatAll = 0x1Fu;
-inline constexpr unsigned kCategoryCount = 5;
+inline constexpr unsigned kCatFlow = 1u << 5;      // per-chunk causal chains (Perfetto flows)
+inline constexpr unsigned kCatAll = 0x3Fu;
+inline constexpr unsigned kCategoryCount = 6;
 
 // Compile-time category mask. Building with -DSWITCHML_TRACE_MASK=0 removes
 // every instrumentation point from the binary.
 #ifndef SWITCHML_TRACE_MASK
-#define SWITCHML_TRACE_MASK 0x1Fu
+#define SWITCHML_TRACE_MASK 0x3Fu
 #endif
 inline constexpr unsigned kCompiledMask = SWITCHML_TRACE_MASK;
+
+// Parses a comma-separated list of category names ("switch,worker,link",
+// "all") into a bitmask; throws std::invalid_argument naming the unknown
+// category otherwise. The bench drivers' --trace-mask speaks names, not bits.
+[[nodiscard]] unsigned parse_mask(std::string_view names);
+
+// The category's lowercase name ("switch", ..., "flow"); `cat` must be a
+// single compiled-in category bit.
+[[nodiscard]] const char* category_name(unsigned cat);
 
 // One optional key/value attribute on an event. Keys must be string literals
 // (static lifetime); a null key means "absent".
@@ -52,6 +63,11 @@ struct Arg {
   const char* key = nullptr;
   std::int64_t value = 0;
 };
+
+// Flow phase of an event (Chrome trace_event flow semantics): kStart opens a
+// chain, kStep continues it, kEnd terminates it. Events of one chain share a
+// flow id and render as clickable arrows in Perfetto.
+enum class FlowPhase : std::uint8_t { kNone = 0, kStart, kStep, kEnd };
 
 // Fixed-size POD record; `name` and arg keys are static-lifetime literals so
 // recording never copies strings.
@@ -61,6 +77,8 @@ struct Event {
   std::uint32_t cat = 0;      // single category bit
   const char* name = nullptr; // e.g. "send", "claim", "drop_loss"
   Arg a0, a1, a2;
+  std::uint64_t flow_id = 0;  // chain identity; meaningful when flow != kNone
+  FlowPhase flow = FlowPhase::kNone;
 };
 
 class TraceSink {
@@ -77,6 +95,11 @@ public:
   void record(unsigned cat, Time ts, std::uint32_t node, const char* name, Arg a0 = {},
               Arg a1 = {}, Arg a2 = {});
 
+  // Hot path. Records one step of a flow chain (Perfetto flow arrows linking
+  // send -> claim -> aggregate -> result -> deliver across actors).
+  void record_flow(unsigned cat, Time ts, std::uint32_t node, const char* name,
+                   std::uint64_t flow_id, FlowPhase phase);
+
   // Associates a NodeId with a display name; exported as Chrome thread_name
   // metadata so Perfetto rows read "worker-0" instead of "tid 3". Nodes
   // self-register from the net::Node constructor.
@@ -90,7 +113,9 @@ public:
   [[nodiscard]] std::uint64_t total_drops() const;
 
   // Chrome trace_event JSON ("traceEvents" array of instant events with
-  // thread_name metadata; "otherData" carries the drop counters).
+  // thread_name metadata; "otherData" carries the drop counters). When any
+  // events were dropped the export logs a Warn-level truncation notice —
+  // an incomplete trace file is never silent.
   [[nodiscard]] std::string chrome_json() const;
   void write_chrome_json(const std::string& path) const;
 
@@ -133,6 +158,21 @@ inline void emit(unsigned cat, Time ts, std::uint32_t node, const char* name, Ar
   if ((kCompiledMask & cat) == 0) return;
   if (TraceSink* s = TraceSink::current(); s != nullptr && s->wants(cat))
     s->record(cat, ts, node, name, a0, a1, a2);
+}
+
+// Flow-chain id for one worker chunk: owning node id in the top bits, element
+// offset below. Offsets stay far under 2^40 in practice; a collision would
+// merely merge two arrows in the viewer.
+inline constexpr std::uint64_t chunk_flow_id(std::uint32_t node, std::uint64_t off) {
+  return (static_cast<std::uint64_t>(node) << 40) | (off & ((1ull << 40) - 1));
+}
+
+// One-call flow-step emission (kCatFlow) for hot paths.
+inline void emit_flow(Time ts, std::uint32_t node, const char* name, std::uint64_t flow_id,
+                      FlowPhase phase) {
+  if ((kCompiledMask & kCatFlow) == 0) return;
+  if (TraceSink* s = TraceSink::current(); s != nullptr && s->wants(kCatFlow))
+    s->record_flow(kCatFlow, ts, node, name, flow_id, phase);
 }
 
 } // namespace switchml::trace

@@ -1,10 +1,12 @@
 #include "core/fabric.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "collectives/streaming_ps.hpp"
+#include "common/attribution.hpp"
 #include "common/tracing.hpp"
 #include "core/fault.hpp"
 
@@ -53,7 +55,36 @@ Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
   MetricsRegistry::Scope scope(&metrics_);
   TopologyBuilder(*this).build();
   install_recovery();
+  install_observability();
   if (!config_.faults.empty()) faults_ = std::make_unique<FaultInjector>(*this, config_.faults);
+}
+
+void Fabric::install_observability() {
+  // Registered ONLY when the ambient sink/ledger exists at construction, so
+  // fabrics built without them keep a bit-identical registry (and timeline).
+  auto* reg = MetricsRegistry::current();
+  if (reg == nullptr) return;
+  if (trace::TraceSink* sink = trace::TraceSink::current())
+    reg->add_counter("trace.dropped_events", [sink] { return sink->total_drops(); });
+  attr::SpanLedger* ledger = attr::SpanLedger::current();
+  if (ledger == nullptr) return;
+  for (std::size_t c = 0; c < attr::kComponentCount; ++c) {
+    const auto comp = static_cast<attr::Component>(c);
+    reg->add_counter(std::string("attr.total.") + attr::to_string(comp) + "_ns",
+                     [ledger, comp] { return ledger->total(comp); });
+  }
+  reg->add_counter("attr.chunks_closed", [ledger] { return ledger->chunks_closed(); });
+  reg->add_counter("attr.max_residual_ns", [ledger] { return ledger->max_residual_ns(); });
+  reg->add_counter("attr.records_dropped", [ledger] { return ledger->records_dropped(); });
+  for (auto& w : workers_) {
+    const std::string p = "attr." + w->name() + ".";
+    const std::uint32_t node = w->id();
+    for (std::size_t c = 0; c < attr::kComponentCount; ++c) {
+      const auto comp = static_cast<attr::Component>(c);
+      reg->add_counter(p + attr::to_string(comp) + "_ns",
+                       [ledger, node, comp] { return ledger->node_total(node, comp); });
+    }
+  }
 }
 
 Fabric::~Fabric() = default;
@@ -128,11 +159,20 @@ collectives::StreamingPsConfig fallback_ps_config(const FabricConfig& c, int n_w
 void Fabric::fallback_timing(const std::vector<Time>& start, std::vector<Time>& tat,
                              std::uint64_t total_elems) {
   const FallbackPlan plan = collect_fallback_plan(total_elems);
-  collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
-  const std::vector<Time> ps_tat = ps.reduce_timing(plan.replay_elems);
+  std::vector<Time> ps_tat;
+  {
+    // The inner cluster's node ids collide with the fabric's; mask the ledger
+    // so replay-internal spans cannot pollute the job's attribution.
+    attr::SpanLedger::Scope mask(nullptr);
+    collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
+    ps_tat = ps.reduce_timing(plan.replay_elems);
+  }
   for (std::size_t i = 0; i < tat.size(); ++i) {
     if (tat[i] >= 0) continue; // completed on the switch path before the abort
     tat[i] = (plan.drained_at - start[i]) + config_.fallback_reprovision + ps_tat[i];
+    // The worker's surviving chunks were parked in kFallback at the abort;
+    // they complete when the replay delivers, possibly past the fabric clock.
+    attr::close_all(workers_[i]->id(), start[i] + tat[i]);
   }
   finish_fallback();
 }
@@ -153,8 +193,13 @@ void Fabric::fallback_data(const std::vector<std::vector<std::int32_t>>& updates
                         updates[i].begin() + static_cast<std::ptrdiff_t>(off + c));
     }
   }
-  collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
-  auto psr = ps.reduce_i32(compact);
+  std::optional<collectives::StreamingPsCluster::DataReduceResult> psr_holder;
+  {
+    attr::SpanLedger::Scope mask(nullptr); // see fallback_timing
+    collectives::StreamingPsCluster ps(fallback_ps_config(config_, workers_per_job_));
+    psr_holder = ps.reduce_i32(compact);
+  }
+  auto& psr = *psr_holder;
   for (std::size_t i = 0; i < r.tat.size(); ++i) {
     if (r.tat[i] >= 0) continue;
     // Scatter the replayed sums back to their offsets. Chunks this worker DID
@@ -167,6 +212,7 @@ void Fabric::fallback_data(const std::vector<std::vector<std::int32_t>>& updates
       pos += c;
     }
     r.tat[i] = (plan.drained_at - start[i]) + config_.fallback_reprovision + psr.tat[i];
+    attr::close_all(workers_[i]->id(), start[i] + r.tat[i]);
   }
   finish_fallback();
 }

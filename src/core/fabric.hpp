@@ -195,6 +195,7 @@ private:
     std::uint64_t replay_elems = 0;
   };
   void install_recovery();
+  void install_observability();
   void on_switch_dead();
   FallbackPlan collect_fallback_plan(std::uint64_t total_elems);
   void finish_fallback();

@@ -4,12 +4,25 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/attribution.hpp"
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
 
 namespace switchml::net {
 
 namespace {
+
+// The chunk a data packet's time attributes to: updates belong to the sending
+// worker, results to the destination worker (L2 multicast rewrites dst per
+// egress port). Other kinds — probes, rescues, baseline segments — carry no
+// chunk identity; switch-to-switch hops miss the ledger key and are no-ops.
+bool chunk_owner(const Packet& p, std::uint32_t& node) {
+  switch (p.kind) {
+    case PacketKind::SmlUpdate: node = p.src; return true;
+    case PacketKind::SmlResult: node = p.dst; return true;
+    default: return false;
+  }
+}
 
 const char* trace_name(TraceEventKind kind) {
   switch (kind) {
@@ -172,6 +185,8 @@ void Link::set_down() {
     for (const PendingDelivery& pd : d->pending) {
       ++d->counters.dropped_down;
       trace(TraceEventKind::DropDown, from_of(*d), *d->to, pd.pkt);
+      if (std::uint32_t owner = 0; attr::enabled() && chunk_owner(pd.pkt, owner))
+        attr::transition_matching(owner, pd.pkt.idx, pd.pkt.off, attr::Component::kRtoStall, now);
     }
     d->pending.clear();
     d->in_flight.clear();
@@ -221,9 +236,17 @@ void Link::deliver_event(Direction& dir, std::uint64_t seq) {
 void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start) {
   const Time now = sim_.now();
   Node& peer = *dir.to;
+  // Span attribution: transitions are applied synchronously with the planned
+  // timestamps (port-free moment, serialization start/finish), which is valid
+  // because they are computed deterministically on the sim clock.
+  std::uint32_t owner = 0;
+  const bool attributed = attr::enabled() && chunk_owner(p, owner);
+  const std::uint64_t owner_off = p.off; // captured before corrupt() can flip it
   if (down_) {
     ++dir.counters.dropped_down;
     trace(TraceEventKind::DropDown, sender, peer, p);
+    if (attributed)
+      attr::transition_matching(owner, p.idx, owner_off, attr::Component::kRtoStall, now);
     return;
   }
   // Drain completed serializations from the lazy backlog ledger.
@@ -236,6 +259,8 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
   if (dir.backlog_bytes + wire > config_.queue_limit_bytes) {
     ++dir.counters.dropped_queue;
     trace(TraceEventKind::DropQueue, sender, peer, p);
+    if (attributed)
+      attr::transition_matching(owner, p.idx, owner_off, attr::Component::kRtoStall, now);
     return;
   }
   trace(TraceEventKind::Tx, sender, peer, p);
@@ -251,10 +276,20 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
   const std::uint64_t seq = dir.next_seq++;
   dir.in_flight.push_back({seq, start, finish, wire});
 
+  if (attributed) {
+    attr::transition_matching(owner, p.idx, owner_off, attr::Component::kLinkQueue,
+                              std::max(now, earliest_start));
+    attr::transition_matching(owner, p.idx, owner_off, attr::Component::kWire, start);
+  }
+
   if (dir.rng.chance(config_.loss_prob) || (drop_filter_ && drop_filter_(sender, p))) {
     ++dir.counters.dropped_loss;
     trace(TraceEventKind::DropLoss, sender, peer, p);
-    return; // the bits left the port but never arrive
+    // The bits left the port but never arrive; the chunk stalls from the
+    // moment serialization ends until the retransmission timer acts.
+    if (attributed)
+      attr::transition_matching(owner, p.idx, owner_off, attr::Component::kRtoStall, finish);
+    return;
   }
 
   if (burst_) {
@@ -270,6 +305,8 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
     if (dir.burst_rng->chance(dir.burst_bad ? burst_->loss_bad : burst_->loss_good)) {
       ++dir.counters.dropped_burst;
       trace(TraceEventKind::DropBurst, sender, peer, p);
+      if (attributed)
+        attr::transition_matching(owner, p.idx, owner_off, attr::Component::kRtoStall, finish);
       return;
     }
   }
@@ -279,6 +316,8 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
     trace(TraceEventKind::Corrupt, sender, peer, p);
   }
 
+  if (attributed)
+    attr::transition_matching(owner, p.idx, owner_off, attr::Component::kProp, finish);
   dir.pending.push_back({seq, finish + config_.propagation, std::move(p)});
   sim_.schedule_at(finish + config_.propagation,
                    [this, dirp = &dir, seq] { deliver_event(*dirp, seq); });

@@ -3,11 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/attribution.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
 
 namespace switchml::net {
+
+namespace {
+// Stream ids are sparse (per-collective bases of 1M/2M), so the attribution
+// slot key masks down to a dense index; streams open concurrently on one host
+// have nearby sequential ids and never collide within the mask.
+constexpr std::uint32_t stream_slot(std::uint32_t stream) { return stream & 0xFFFu; }
+} // namespace
 
 // ---------------------------------------------------------------- TransportHost
 
@@ -86,6 +94,12 @@ void ReliableSender::start(std::int64_t total_bytes, std::span<const float> data
   // Persistent connection: cwnd starts at the cap and only shrinks on loss.
   cwnd_ = profile_.window_bytes;
   ssthresh_ = profile_.window_bytes;
+  // Baseline-transport attribution: one span per stream on the sender's node,
+  // split into healthy flight (kProp) and loss-recovery episodes (kRtoStall)
+  // — the same episode boundaries retx_recovery_ns already measures.
+  attr::open(host_.id(), stream_slot(stream_), stream_, host_.simulation().now());
+  attr::transition(host_.id(), stream_slot(stream_), attr::Component::kProp,
+                   host_.simulation().now());
   pump();
 }
 
@@ -146,7 +160,11 @@ void ReliableSender::on_timeout() {
       static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
   counters_.retransmissions += window_segs;
   host_.transport_counters().retransmissions += window_segs;
-  if (retx_since_ < 0) retx_since_ = host_.simulation().now();
+  if (retx_since_ < 0) {
+    retx_since_ = host_.simulation().now();
+    attr::transition(host_.id(), stream_slot(stream_), attr::Component::kRtoStall,
+                     retx_since_);
+  }
   snd_nxt_ = snd_una_; // go-back-N
   if (profile_.congestion_control) {
     // RTO is a serious congestion signal: collapse to one segment and
@@ -171,6 +189,7 @@ void ReliableSender::on_ack(const Packet& ack) {
     if (retx_since_ >= 0) {
       host_.retx_recovery_hist().record(now - retx_since_);
       retx_since_ = -1;
+      attr::transition(host_.id(), stream_slot(stream_), attr::Component::kProp, now);
     }
     const std::int64_t newly_acked = acked - snd_una_;
     snd_una_ = acked;
@@ -188,6 +207,7 @@ void ReliableSender::on_ack(const Packet& ack) {
     }
     if (snd_una_ >= total_) {
       timer_.cancel();
+      attr::close(host_.id(), stream_slot(stream_), now);
       if (on_complete_) on_complete_();
       return;
     }
@@ -203,7 +223,11 @@ void ReliableSender::on_ack(const Packet& ack) {
       ++host_.transport_counters().retransmissions;
       in_fast_recovery_ = true;
       dupacks_ = 0;
-      if (retx_since_ < 0) retx_since_ = host_.simulation().now();
+      if (retx_since_ < 0) {
+        retx_since_ = host_.simulation().now();
+        attr::transition(host_.id(), stream_slot(stream_), attr::Component::kRtoStall,
+                         retx_since_);
+      }
       if (profile_.congestion_control) {
         // Multiplicative decrease.
         ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2 * profile_.mss);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/attribution.hpp"
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
 
@@ -145,6 +146,7 @@ void AggregationSwitch::restart() {
   // pre-restart in-flight contributions are gone.
   ++epoch_;
   ++counters_.restarts;
+  attr::sweep_switch(id(), attr::Component::kRecovery, sim_.now());
   trace::emit(trace::kCatFault, sim_.now(), id(), "switch_restart",
               {"jobs", static_cast<std::int64_t>(jobs_.size())},
               {"epoch", static_cast<std::int64_t>(epoch_)});
@@ -174,6 +176,8 @@ void AggregationSwitch::receive(net::Packet&& p, int port) {
     // A killed switch is silent: nothing is aggregated, forwarded, or
     // answered. Workers detect the black hole through their retry budgets.
     ++counters_.dead_drops;
+    if (p.kind == net::PacketKind::SmlUpdate)
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kRecovery, sim_.now());
     return;
   }
   if (p.kind == net::PacketKind::SmlUpdate) {
@@ -253,6 +257,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     ++counters_.checksum_drops;
     trace::emit(trace::kCatSwitch, sim_.now(), id(), "checksum_drop", {"slot", p.idx},
                 {"wid", p.wid});
+    attr::transition_matching(p.src, p.idx, p.off, attr::Component::kRtoStall, sim_.now());
     return;
   }
   auto jit = jobs_.find(p.job);
@@ -328,6 +333,9 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "aggregate", {"slot", idx},
                   {"wid", wid_local}, {"count", new_count});
     }
+    attr::contribute(id(), p.job, static_cast<std::uint32_t>(ver), idx, p.src, p.off, sim_.now());
+    trace::emit_flow(sim_.now(), id(), "chunk", trace::chunk_flow_id(p.src, p.off),
+                     trace::FlowPhase::kStep);
 
     std::vector<std::int32_t> result_values;
     if (!config_.timing_only && !p.values.empty()) {
@@ -364,6 +372,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
       if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
                   {"off", static_cast<std::int64_t>(p.off)});
+      attr::complete_slot(id(), p.job, static_cast<std::uint32_t>(ver), idx, p.off, sim_.now());
       emit_result(job, p, std::move(result_values));
     }
     // else: drop p (the update is absorbed into the slot)
@@ -371,7 +380,12 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     ++counters_.duplicate_updates;
     trace::emit(trace::kCatSwitch, sim_.now(), id(), "dup_update", {"slot", idx},
                 {"wid", wid_local}, {"ver", ver});
-    if (config_.ablate_shadow_copy) return; // ablation: no stored result to serve
+    if (config_.ablate_shadow_copy) {
+      // Ablation: no stored result to serve; the worker can only wait for the
+      // (re)multicast, so its chunk re-enters the slot-wait phase.
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kSwitchWait, sim_.now());
+      return;
+    }
     // --- Algorithm 3, lines 19-23: duplicate. If the slot already completed
     // (count wrapped to 0), answer from the shadow copy; otherwise drop.
     const std::uint32_t count_now =
@@ -379,6 +393,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     if (count_now == 0) {
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "shadow_reply", {"slot", idx},
                   {"wid", wid_local}, {"ver", ver});
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kSwitchReady, sim_.now());
       std::vector<std::int32_t> result_values;
       if (!config_.timing_only && !p.values.empty()) {
         const bool fp16 = p.elem_bytes == 2;
@@ -418,8 +433,11 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
         reply.seal();
         forward(std::move(reply));
       }
+    } else {
+      // Still aggregating: the duplicate is absorbed, the chunk keeps waiting
+      // for the remaining workers.
+      attr::transition_matching(p.src, p.idx, p.off, attr::Component::kSwitchWait, sim_.now());
     }
-    // else: still aggregating — the duplicate is simply ignored.
   }
 }
 
@@ -584,6 +602,7 @@ void AggregationSwitch::handle_rescue(net::Packet&& p) {
     if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
     trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
                 {"off", static_cast<std::int64_t>(p.off)});
+    attr::complete_slot(id(), p.job, static_cast<std::uint32_t>(ver), idx, p.off, sim_.now());
     emit_result(job, p, std::move(result_values));
   }
 }

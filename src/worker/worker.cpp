@@ -5,6 +5,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "common/attribution.hpp"
 #include "common/log.hpp"
 #include "common/metrics.hpp"
 #include "common/tracing.hpp"
@@ -167,8 +168,14 @@ void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
   if (retransmission) {
     ++counters_.retransmissions;
     slot.retransmitted = true;
+    // The chunk re-enters the host send path (from an RTO or recovery stall).
+    attr::transition(id(), slot_index, attr::Component::kHostTx, sim_.now());
   } else {
     slot.retransmitted = false;
+    // A fresh chunk: its attribution span starts here, in kHostTx.
+    attr::open(id(), slot_index, slot.off, sim_.now());
+    trace::emit_flow(sim_.now(), id(), "chunk", trace::chunk_flow_id(id(), slot.off),
+                     trace::FlowPhase::kStart);
   }
 
   const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
@@ -226,21 +233,23 @@ void Worker::receive(net::Packet&& p, int /*port*/) {
   }
   const bool sync = p.kind == net::PacketKind::SmlSyncResponse;
   const int core = core_of(p.idx);
+  const Time rx_at = sim_.now(); // NIC arrival; kHostRx runs from here to consume
   auto shared = std::make_shared<net::Packet>(std::move(p));
-  nic_.rx_process(core, shared->wire_bytes(), [this, shared, sync]() mutable {
+  nic_.rx_process(core, shared->wire_bytes(), [this, shared, sync, rx_at]() mutable {
     if (sync)
       handle_sync_response(std::move(*shared));
     else
-      handle_result(std::move(*shared));
+      handle_result(std::move(*shared), rx_at);
   });
 }
 
-void Worker::handle_result(net::Packet&& p) {
+void Worker::handle_result(net::Packet&& p, Time rx_at) {
   if (aborted_) return;
   if (!p.verify()) {
     // Corrupted on the wire: discard; the slot timer repairs it (§3.4).
     ++counters_.checksum_drops;
     trace::emit(trace::kCatWorker, sim_.now(), id(), "checksum_drop", {"slot", p.idx});
+    attr::transition_matching(id(), p.idx, p.off, attr::Component::kRtoStall, sim_.now());
     return;
   }
   if (p.idx >= slots_.size()) {
@@ -264,6 +273,11 @@ void Worker::handle_result(net::Packet&& p) {
   ++counters_.results_received;
   trace::emit(trace::kCatWorker, sim_.now(), id(), "recv", {"slot", p.idx},
               {"off", static_cast<std::int64_t>(p.off)}, {"ver", p.ver});
+  // The chunk's span ends here: NIC rx processing since arrival, then done.
+  attr::transition(id(), p.idx, attr::Component::kHostRx, rx_at);
+  attr::close(id(), p.idx, sim_.now());
+  trace::emit_flow(sim_.now(), id(), "chunk", trace::chunk_flow_id(id(), p.off),
+                   trace::FlowPhase::kEnd);
   slot.timer.cancel();
   slot.active = false;
   slot.backoff = 0;
@@ -446,6 +460,9 @@ void Worker::abort_reduction() {
   if (aborted_) return;
   aborted_ = true;
   for (Slot& s : slots_) s.timer.cancel();
+  // Every unconsumed chunk now belongs to the PS-fallback replay; the fabric
+  // closes the spans when the fallback delivers them.
+  attr::transition_all(id(), attr::Component::kFallback, sim_.now());
 }
 
 std::vector<std::uint64_t> Worker::unconsumed_chunks() const {

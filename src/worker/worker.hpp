@@ -198,7 +198,7 @@ private:
   };
 
   void send_update(std::uint32_t slot_index, bool retransmission);
-  void handle_result(net::Packet&& p);
+  void handle_result(net::Packet&& p, Time rx_at);
   void handle_sync_response(net::Packet&& p);
   void send_sync_query(std::uint32_t slot_index);
   void send_rescue(std::uint32_t slot_index, std::uint64_t off, std::uint8_t ver,

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <stdexcept>
 #include <string>
 
 #include "common/tracing.hpp"
@@ -256,6 +257,59 @@ TEST(Tracing, CompiledMaskConstantFoldsDisabledCategories) {
   EXPECT_TRUE(sink.events().empty());
 }
 
+TEST(Tracing, ParseMaskAcceptsCategoryNamesAndAll) {
+  EXPECT_EQ(trace::parse_mask("switch"), trace::kCatSwitch);
+  EXPECT_EQ(trace::parse_mask("switch,worker,link"),
+            trace::kCatSwitch | trace::kCatWorker | trace::kCatLink);
+  EXPECT_EQ(trace::parse_mask("transport,fault,flow"),
+            trace::kCatTransport | trace::kCatFault | trace::kCatFlow);
+  EXPECT_EQ(trace::parse_mask("all"), trace::kCatAll);
+  EXPECT_EQ(trace::parse_mask("fault,all"), trace::kCatAll);
+  EXPECT_EQ(trace::parse_mask(""), 0u);
+  EXPECT_EQ(trace::parse_mask("worker,,worker"), trace::kCatWorker); // empty tokens skipped
+}
+
+TEST(Tracing, ParseMaskRejectsUnknownNamesWithGuidance) {
+  EXPECT_THROW(trace::parse_mask("wrker"), std::invalid_argument);
+  try {
+    trace::parse_mask("switch,bogus");
+    FAIL() << "must throw";
+  } catch (const std::invalid_argument& e) {
+    // The message names the offender and the valid alternatives.
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("transport"), std::string::npos);
+  }
+}
+
+TEST(Tracing, FlowEventsExportChromeFlowPhases) {
+  trace::TraceSink sink(64);
+  trace::TraceSink::Scope scope(&sink);
+  const std::uint64_t id = trace::chunk_flow_id(3, 4096);
+  trace::emit_flow(usec(1), 3, "chunk", id, trace::FlowPhase::kStart);
+  trace::emit_flow(usec(2), 9, "chunk", id, trace::FlowPhase::kStep);
+  trace::emit_flow(usec(3), 3, "chunk", id, trace::FlowPhase::kEnd);
+  ASSERT_EQ(sink.events().size(), 3u);
+  EXPECT_EQ(sink.events()[0].flow, trace::FlowPhase::kStart);
+  EXPECT_EQ(sink.events()[1].flow_id, id);
+
+  const std::string json = sink.chrome_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  // Chrome flow semantics: start 's', step 't', finish 'f' with "bp":"e",
+  // all bound by the same id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":" + std::to_string(id)), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+}
+
+TEST(Tracing, ChunkFlowIdSeparatesNodesAndOffsets) {
+  EXPECT_NE(trace::chunk_flow_id(0, 64), trace::chunk_flow_id(1, 64));
+  EXPECT_NE(trace::chunk_flow_id(0, 64), trace::chunk_flow_id(0, 128));
+  static_assert(trace::chunk_flow_id(2, 0) == (2ull << 40));
+}
+
 TEST(Tracing, LossyClusterRunExportsValidChromeJson) {
   // A fig6-style lossy run: every instrumentation point fires (sends,
   // retransmits, timeouts, claims, dups, shadow replies, link drops).
@@ -274,10 +328,14 @@ TEST(Tracing, LossyClusterRunExportsValidChromeJson) {
   // Node construction registered actor names for the Perfetto rows.
   EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
   EXPECT_NE(json.find("\"worker-0\""), std::string::npos);
-  // All three active categories appear.
+  // All active categories appear, including the per-chunk flow arrows
+  // (send -> claim/aggregate -> deliver).
   EXPECT_NE(json.find("\"cat\":\"worker\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"switch\""), std::string::npos);
   EXPECT_NE(json.find("\"cat\":\"link\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
 }
 
 TEST(Tracing, ChromeJsonEscapesHostileActorNames) {
