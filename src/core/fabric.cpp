@@ -1,6 +1,7 @@
 #include "core/fabric.hpp"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -60,6 +61,26 @@ Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
 }
 
 void Fabric::install_observability() {
+  if (inttel::kCompiledIn && config_.int_mode != inttel::kModeOff) {
+    // The localizer's verdicts print node names, not raw ids.
+    std::map<std::uint32_t, std::string> names;
+    for (auto& w : workers_) names.emplace(w->id(), w->name());
+    for (auto& s : switches_) names.emplace(s->id(), s->name());
+    int_localizer_ = std::make_unique<inttel::FaultLocalizer>(
+        inttel::FaultLocalizer::Config{},
+        [names = std::move(names)](std::uint32_t node) {
+          auto it = names.find(node);
+          return it != names.end() ? it->second : "node-" + std::to_string(node);
+        });
+    for (auto& w : workers_) w->set_int_localizer(int_localizer_.get());
+    if (auto* ireg = MetricsRegistry::current()) {
+      for (std::size_t k = 0; k < inttel::FaultLocalizer::kKindCount; ++k) {
+        const auto kind = static_cast<inttel::FaultLocalizer::Verdict::Kind>(k);
+        ireg->add_counter(std::string("int.verdicts.") + inttel::FaultLocalizer::to_string(kind),
+                          [this, kind] { return int_localizer_->count(kind); });
+      }
+    }
+  }
   // Registered ONLY when the ambient sink/ledger exists at construction, so
   // fabrics built without them keep a bit-identical registry (and timeline).
   auto* reg = MetricsRegistry::current();
@@ -344,6 +365,7 @@ worker::WorkerConfig TopologyBuilder::worker_config(int wid, int n_at_switch,
   wc.nic = params_.nic;
   wc.switch_id = switch_id;
   wc.timing_only = params_.timing_only;
+  wc.int_mode = params_.int_mode;
   wc.lossless = params_.lossless;
   // Lossless workers have no timers, so the timeout-driven escalation stages
   // can never fire; keep them disabled explicitly.

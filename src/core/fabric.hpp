@@ -50,6 +50,11 @@ struct FabricParams {
   bool adaptive_rto = false; // §6: RTT-adaptive RTO (Jacobson/Karels)
   net::NicConfig nic = switchml_worker_nic_10g();
   bool timing_only = false;
+  // In-band telemetry mode for every worker's data packets (inttel::kModeOff
+  // / kModePhantom / kModeOnWire). Non-off builds a fabric-wide
+  // FaultLocalizer fed by every worker's IntCollector. No effect when the
+  // telemetry stack is compiled out (SWITCHML_INT=0).
+  std::uint8_t int_mode = inttel::kModeOff;
   bool mtu_emulation = false; // §5.5: switch forwards elements beyond 32 as-is
   Time switch_latency = nsec(400);
   std::uint64_t seed = 42;
@@ -158,6 +163,10 @@ public:
   // The fault injector executing config().faults; null when the plan is empty.
   [[nodiscard]] FaultInjector* fault_injector() { return faults_.get(); }
 
+  // The online fault localizer fed by every worker's INT collector; null
+  // unless the telemetry stack is compiled in and config().int_mode != off.
+  [[nodiscard]] inttel::FaultLocalizer* int_localizer() { return int_localizer_.get(); }
+
   // True once any reduction on this fabric degraded to the streaming-PS
   // fallback (after a worker declared the switch dead).
   [[nodiscard]] bool fallback_engaged() const { return fallbacks_ > 0; }
@@ -212,6 +221,7 @@ private:
   std::vector<std::unique_ptr<net::Link>> links_;
   std::unique_ptr<net::Tracer> tracer_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<inttel::FaultLocalizer> int_localizer_;
   int n_jobs_ = 1;
   int workers_per_job_ = 0;
   bool fallback_pending_ = false;

@@ -24,6 +24,21 @@ bool chunk_owner(const Packet& p, std::uint32_t& node) {
   }
 }
 
+// Packet kinds that carry an INT stack (the SwitchML data path; probes and
+// baseline segments stay bare).
+bool int_stampable(PacketKind kind) {
+  return kind == PacketKind::SmlUpdate || kind == PacketKind::SmlResult ||
+         kind == PacketKind::SmlRescue;
+}
+
+std::uint32_t sat_u32(std::uint64_t v) {
+  return v > 0xFFFFFFFFull ? 0xFFFFFFFFu : static_cast<std::uint32_t>(v);
+}
+
+std::uint16_t sat_u16(std::uint64_t v) {
+  return v > 0xFFFFull ? 0xFFFFu : static_cast<std::uint16_t>(v);
+}
+
 const char* trace_name(TraceEventKind kind) {
   switch (kind) {
     case TraceEventKind::Tx: return "enqueue";
@@ -61,14 +76,15 @@ Link::Link(sim::Simulation& simulation, const LinkConfig& config, Node& end_a, i
       reg->add_counter(prefix + "dropped_down", [&c] { return c.dropped_down; });
       reg->add_counter(prefix + "dropped_burst", [&c] { return c.dropped_burst; });
       reg->add_counter(prefix + "burst_entries", [&c] { return c.burst_entries; });
-      // Occupancy is tracked lazily (drained on send), so recompute from the
-      // in-flight ledger instead of trusting backlog_bytes.
+      // Occupancy is tracked lazily: drain the in-flight ledger up to now,
+      // then the running totals are exact — O(1) amortized, no recompute.
       reg->add_gauge(prefix + "queue_bytes", [this, &dir] {
-        const Time now = sim_.now();
-        std::int64_t bytes = 0;
-        for (const InFlight& rec : dir.in_flight)
-          if (rec.finish > now) bytes += rec.bytes;
-        return bytes;
+        drain(dir);
+        return dir.backlog_bytes;
+      });
+      reg->add_gauge(prefix + "queue_pkts", [this, &dir] {
+        drain(dir);
+        return static_cast<std::int64_t>(dir.in_flight.size());
       });
       reg->add_histogram(prefix + "queue_wait_ns", &dir.queue_wait_ns);
     };
@@ -91,6 +107,26 @@ const Link::Counters& Link::counters_from(const Node& sender) const {
   if (&sender == end_a_) return a_to_b_.counters;
   if (&sender == end_b_) return b_to_a_.counters;
   throw std::invalid_argument("Link::counters_from: not an endpoint");
+}
+
+void Link::drain(Direction& dir) {
+  const Time now = sim_.now();
+  while (!dir.in_flight.empty() && dir.in_flight.front().finish <= now) {
+    dir.backlog_bytes -= dir.in_flight.front().bytes;
+    dir.in_flight.pop_front();
+  }
+}
+
+std::int64_t Link::queue_depth_bytes(const Node& sender) {
+  Direction& dir = direction_from(sender);
+  drain(dir);
+  return dir.backlog_bytes;
+}
+
+std::int64_t Link::queue_depth_pkts(const Node& sender) {
+  Direction& dir = direction_from(sender);
+  drain(dir);
+  return static_cast<std::int64_t>(dir.in_flight.size());
 }
 
 Node& Link::peer_of(const Node& n) {
@@ -233,6 +269,33 @@ void Link::deliver_event(Direction& dir, std::uint64_t seq) {
   dir.to->receive(std::move(d.pkt), dir.to_port);
 }
 
+// Pushes this hop's INT record: egress queue depth (post-drain, exact),
+// cumulative egress drops, and the planned ingress→egress latency — queue
+// wait behind earlier serializations, the packet's own serialization
+// (including the bytes this record adds in on-wire mode), and propagation.
+// The whole transit is planned at enqueue time, so the "egress" latency is
+// known here, before the bits ever move.
+void Link::stamp_int(const Node& sender, Direction& dir, Packet& p, Time earliest_start) {
+  inttel::IntHopRecord rec;
+  rec.hop_id = sender.id();
+  rec.next_hop = dir.to->id();
+  rec.queue_bytes = sat_u32(static_cast<std::uint64_t>(dir.backlog_bytes));
+  rec.queue_pkts = sat_u16(dir.in_flight.size());
+  const Counters& c = dir.counters;
+  rec.drops = sat_u32(c.dropped_queue + c.dropped_loss + c.dropped_down + c.dropped_burst);
+  const Time t0 = std::max(sim_.now(), earliest_start);
+  const Time start = std::max(t0, dir.busy_until);
+  std::uint32_t wire_after = p.wire_bytes();
+  if (p.int_mode == inttel::kModeOnWire) {
+    wire_after += inttel::kRecordBytes +
+                  (p.int_stack.empty() ? inttel::kShimBytes : 0u);
+  }
+  const Time latency =
+      (start - t0) + serialization_time(wire_after, config_.rate) + config_.propagation;
+  rec.hop_latency_ns = sat_u32(static_cast<std::uint64_t>(latency));
+  inttel::append_record(p.int_stack, rec);
+}
+
 void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start) {
   const Time now = sim_.now();
   Node& peer = *dir.to;
@@ -250,10 +313,12 @@ void Link::transmit(const Node& sender, Direction& dir, Packet&& p, Time earlies
     return;
   }
   // Drain completed serializations from the lazy backlog ledger.
-  while (!dir.in_flight.empty() && dir.in_flight.front().finish <= now) {
-    dir.backlog_bytes -= dir.in_flight.front().bytes;
-    dir.in_flight.pop_front();
-  }
+  drain(dir);
+
+  // Stamp this hop's telemetry before wire_bytes() is read: in on-wire mode
+  // the record's bytes are part of the frame and must be charged everywhere.
+  if (inttel::kCompiledIn && p.int_mode != inttel::kModeOff && int_stampable(p.kind))
+    stamp_int(sender, dir, p, earliest_start);
 
   const std::int64_t wire = p.wire_bytes();
   if (dir.backlog_bytes + wire > config_.queue_limit_bytes) {

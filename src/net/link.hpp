@@ -68,6 +68,14 @@ public:
   void send_from(const Node& sender, Packet&& p, Time earliest_start = 0);
 
   [[nodiscard]] const Counters& counters_from(const Node& sender) const;
+
+  // O(1) egress queue depth of the direction leaving `sender`: drains the
+  // lazy in-flight ledger up to now, then reads the running totals (the same
+  // ledger send_from maintains — no recompute). Registered as the
+  // per-direction "queue_bytes"/"queue_pkts" gauges.
+  [[nodiscard]] std::int64_t queue_depth_bytes(const Node& sender);
+  [[nodiscard]] std::int64_t queue_depth_pkts(const Node& sender);
+
   [[nodiscard]] const LinkConfig& config() const { return config_; }
   void set_loss_prob(double p) { config_.loss_prob = p; }
 
@@ -156,6 +164,8 @@ private:
 
   Direction& direction_from(const Node& sender);
   [[nodiscard]] const Node& from_of(const Direction& dir) const;
+  void drain(Direction& dir);
+  void stamp_int(const Node& sender, Direction& dir, Packet& p, Time earliest_start);
   void transmit(const Node& sender, Direction& dir, Packet&& p, Time earliest_start);
   void deliver_event(Direction& dir, std::uint64_t seq);
   void replan(Direction& dir, BitsPerSecond old_rate);

@@ -9,7 +9,7 @@ std::uint32_t Packet::wire_bytes() const {
     case PacketKind::SmlUpdate:
     case PacketKind::SmlResult:
     case PacketKind::SmlRescue:
-      return kSmlHeaderBytes + elem_count * elem_bytes;
+      return kSmlHeaderBytes + elem_count * elem_bytes + int_wire_bytes();
     case PacketKind::SmlSyncQuery:
     case PacketKind::SmlSyncResponse:
       // Headers only; both fit the minimum Ethernet frame.

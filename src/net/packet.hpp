@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/int_telemetry.hpp"
+
 namespace switchml::net {
 
 using NodeId = std::uint32_t;
@@ -78,6 +80,24 @@ struct Packet {
   // accounting above matters.
   std::vector<std::int32_t> values; // SwitchML integer payload
   std::vector<float> fvalues;       // baseline float payload
+
+  // --- in-band telemetry (SmlUpdate / SmlResult / SmlRescue) --------------
+  // inttel::kMode*: off (default), phantom (stamped, zero wire bytes), or
+  // on-wire (stamped, honestly charged below). The stack is the encoded
+  // shim + hop records; hops append via inttel::append_record. Both fields
+  // are excluded from the checksum — INT metadata mutates at every hop, so
+  // (like a real INT deployment's hop-by-hop headers) it sits outside the
+  // end-to-end integrity check.
+  std::uint8_t int_mode = inttel::kModeOff;
+  std::vector<std::uint8_t> int_stack;
+
+  // Wire bytes the telemetry stack adds: zero unless compiled in, in on-wire
+  // mode, and non-empty.
+  [[nodiscard]] std::uint32_t int_wire_bytes() const {
+    if constexpr (!inttel::kCompiledIn) return 0;
+    if (int_mode != inttel::kModeOnWire) return 0;
+    return inttel::stack_wire_bytes(int_stack);
+  }
 
   // §3.4: "A simple checksum can be used to detect corruption and discard
   // corrupted packets." seal() computes it over the header + payload at the

@@ -140,6 +140,8 @@ void AggregationSwitch::restart() {
     for (auto& offs : job.claim_off)
       std::fill(offs.begin(), offs.end(), net::kNoClaimOff);
     std::fill(job.rescue_seen.begin(), job.rescue_seen.end(), 0ull);
+    job.active_phases = 0;
+    job.int_rx.clear(); // telemetry echo state lives in the wiped dataplane
   }
   // The reloaded program comes up under a new incarnation; every result and
   // sync response from here on carries it, which is how workers learn their
@@ -205,7 +207,15 @@ void AggregationSwitch::receive(net::Packet&& p, int port) {
         it != jobs_.end() ? it->second.params.multicast_group : config_.multicast_group;
     p.epoch = epoch_;
     p.seal();
-    multicast(group, p);
+    if (inttel::kCompiledIn && p.int_mode != inttel::kModeOff && it != jobs_.end()) {
+      // Like the epoch, a worker's telemetry domain is its directly-attached
+      // switch: replace the root-side stack with each worker's own uplink
+      // echo plus THIS switch's record (now - uplink arrival spans the whole
+      // root round trip, so hop sums stay conservative).
+      multicast_int_echo(it->second, p);
+    } else {
+      multicast(group, p);
+    }
     return;
   }
   L2Switch::receive(std::move(p), port); // ordinary forwarding for other traffic
@@ -224,6 +234,7 @@ void AggregationSwitch::emit_result(const JobState& job, const net::Packet& upda
   result.epoch = epoch_;
   result.elem_count = update.elem_count;
   result.elem_bytes = update.elem_bytes;
+  result.int_mode = update.int_mode; // telemetry rides the whole reduction path
   result.values = std::move(values);
   if (role_ == SwitchRole::Leaf) {
     // Completion at a leaf produces ONE partial-aggregate update packet for
@@ -236,7 +247,11 @@ void AggregationSwitch::emit_result(const JobState& job, const net::Packet& upda
   } else {
     result.seal();
     ++counters_.results_multicast;
-    multicast(job.params.multicast_group, result);
+    if (inttel::kCompiledIn && result.int_mode != inttel::kModeOff) {
+      multicast_int_echo(job, result);
+    } else {
+      multicast(job.params.multicast_group, result);
+    }
   }
 }
 
@@ -275,6 +290,8 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     throw std::runtime_error(name() + ": slot index out of range");
   const int wid_local = local_worker_index(job, p.wid);
   const auto n = static_cast<std::uint32_t>(job.params.n_workers);
+  if (inttel::kCompiledIn && p.int_mode != inttel::kModeOff)
+    store_int_contribution(job, idx, wid_local, p);
 
   // --- Algorithm 3, lines 5-7: one access sets our bit for this version and
   // clears our bit for the alternate version. (Algorithm 1 / lossless mode
@@ -311,6 +328,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
     const bool complete = new_count == 0;
 
     if (first) {
+      ++job.active_phases;
       // Latch the offset this version is now aggregating (read by sync
       // responses) and reset the version's rescue dedup bits: a fresh claim
       // starts a fresh phase, so older rescues must not be confused with it.
@@ -369,6 +387,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
 
     if (complete) {
       ++counters_.completions;
+      if (job.active_phases > 0) --job.active_phases;
       if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
       trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
                   {"off", static_cast<std::int64_t>(p.off)});
@@ -429,7 +448,10 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
         reply.epoch = epoch_;
         reply.elem_count = p.elem_count;
         reply.elem_bytes = p.elem_bytes;
+        reply.int_mode = p.int_mode;
         reply.values = std::move(result_values);
+        if (inttel::kCompiledIn && reply.int_mode != inttel::kModeOff)
+          attach_int_echo(job, reply, wid_local);
         reply.seal();
         forward(std::move(reply));
       }
@@ -531,6 +553,8 @@ void AggregationSwitch::handle_rescue(net::Packet&& p) {
     throw std::runtime_error(name() + ": rescue slot index out of range");
   const int wid_local = local_worker_index(job, p.wid);
   const auto n = static_cast<std::uint32_t>(job.params.n_workers);
+  if (inttel::kCompiledIn && p.int_mode != inttel::kModeOff)
+    store_int_contribution(job, idx, wid_local, p);
 
   pipeline_.begin_packet();
 
@@ -599,11 +623,87 @@ void AggregationSwitch::handle_rescue(net::Packet&& p) {
 
   if (complete) {
     ++counters_.completions;
+    if (job.active_phases > 0) --job.active_phases;
     if (job.claim_at[idx] >= 0) slot_dwell_ns_.record(sim_.now() - job.claim_at[idx]);
     trace::emit(trace::kCatSwitch, sim_.now(), id(), "complete", {"slot", idx}, {"ver", ver},
                 {"off", static_cast<std::int64_t>(p.off)});
     attr::complete_slot(id(), p.job, static_cast<std::uint32_t>(ver), idx, p.off, sim_.now());
     emit_result(job, p, std::move(result_values));
+  }
+}
+
+void AggregationSwitch::store_int_contribution(JobState& job, std::uint32_t idx, int wid_local,
+                                               const net::Packet& p) {
+  if constexpr (!inttel::kCompiledIn) {
+    (void)job;
+    (void)idx;
+    (void)wid_local;
+    (void)p;
+    return;
+  }
+  if (job.int_rx.empty())
+    job.int_rx.resize(static_cast<std::size_t>(job.params.pool_size) *
+                      static_cast<std::size_t>(job.params.n_workers));
+  auto& c = job.int_rx[static_cast<std::size_t>(idx) *
+                           static_cast<std::size_t>(job.params.n_workers) +
+                       static_cast<std::size_t>(wid_local)];
+  c.at = sim_.now();
+  c.mode = p.int_mode;
+  c.stack = p.int_stack;
+}
+
+inttel::IntHopRecord AggregationSwitch::int_switch_record(const JobState& job, std::uint32_t dst,
+                                                          Time since) const {
+  inttel::IntHopRecord rec;
+  rec.hop_id = id();
+  rec.next_hop = dst;
+  const Time lat = (since >= 0 ? sim_.now() - since : Time{0}) + pipeline_latency();
+  rec.hop_latency_ns =
+      lat > 0xFFFFFFFFll ? 0xFFFFFFFFu : static_cast<std::uint32_t>(lat < 0 ? 0 : lat);
+  rec.flags = inttel::kHopFlagSwitch;
+  rec.drops = counters_.checksum_drops > 0xFFFFFFFFull
+                  ? 0xFFFFFFFFu
+                  : static_cast<std::uint32_t>(counters_.checksum_drops);
+  rec.pool_occupancy = job.active_phases;
+  rec.fanin = static_cast<std::uint16_t>(job.params.n_workers);
+  rec.epoch = static_cast<std::uint16_t>(epoch_);
+  return rec;
+}
+
+void AggregationSwitch::attach_int_echo(const JobState& job, net::Packet& copy, int wid_local) {
+  if constexpr (!inttel::kCompiledIn) {
+    (void)job;
+    (void)copy;
+    (void)wid_local;
+    return;
+  }
+  Time since = -1;
+  copy.int_stack.clear();
+  if (!job.int_rx.empty() && copy.idx < job.params.pool_size) {
+    const auto& c = job.int_rx[static_cast<std::size_t>(copy.idx) *
+                                   static_cast<std::size_t>(job.params.n_workers) +
+                               static_cast<std::size_t>(wid_local)];
+    if (c.at >= 0) {
+      copy.int_stack = c.stack;
+      since = c.at;
+    }
+  }
+  inttel::append_record(copy.int_stack, int_switch_record(job, copy.dst, since));
+}
+
+void AggregationSwitch::multicast_int_echo(const JobState& job, const net::Packet& p) {
+  const std::vector<int>* ports = multicast_ports(job.params.multicast_group);
+  if (ports == nullptr) {
+    multicast(job.params.multicast_group, p); // unit fixtures: same diagnostics
+    return;
+  }
+  const Time ready = sim_.now() + pipeline_latency();
+  for (std::size_t i = 0; i < ports->size(); ++i) {
+    net::Link* link = link_at((*ports)[i]);
+    net::Packet copy = p;
+    copy.dst = link->peer_of(*this).id();
+    attach_int_echo(job, copy, static_cast<int>(i));
+    link->send_from(*this, std::move(copy), ready);
   }
 }
 

@@ -191,6 +191,23 @@ private:
     // Per-slot rescue dedup bitmap, same bit layout as `seen` (ver*32 + wid);
     // cleared when a version is freshly claimed, completed, or wiped.
     std::vector<std::uint64_t> rescue_seen;
+    // Phases claimed but not yet completed, across both versions — the
+    // "pool occupancy" the switch's INT record reports. Maintained
+    // unconditionally (two integer ops); reset by a dataplane wipe.
+    std::uint32_t active_phases = 0;
+    // INT uplink echo state, allocated lazily on the first INT-carrying
+    // update: per (slot, local worker), the arrival time and telemetry stack
+    // of that contributor's most recent update for the slot. Updates
+    // terminate here, so the switch echoes each worker's own uplink stack —
+    // plus its own record — on that worker's result copy, the way a Tofino
+    // INT sink reflects source-to-sink metadata back to the end host. Wiped
+    // by restart() like the rest of the dataplane memory.
+    struct IntContribution {
+      Time at = -1;
+      std::uint8_t mode = 0;
+      std::vector<std::uint8_t> stack;
+    };
+    std::vector<IntContribution> int_rx; // [idx * n_workers + wid_local]
   };
 
   void handle_update(net::Packet&& p, int in_port);
@@ -199,6 +216,24 @@ private:
   void emit_result(const JobState& job, const net::Packet& update,
                    std::vector<std::int32_t>&& values);
   void send_upstream(net::Packet&& p);
+
+  // --- in-band telemetry ----------------------------------------------------
+  // Latches the contributor's uplink stack for the slot (echoed on results).
+  void store_int_contribution(JobState& job, std::uint32_t idx, int wid_local,
+                              const net::Packet& p);
+  // This switch's own INT record: per-contributor slot wait (now - `since`,
+  // the contributor's update arrival) + pipeline latency, pool occupancy,
+  // slot fan-in, and the dataplane epoch.
+  [[nodiscard]] inttel::IntHopRecord int_switch_record(const JobState& job, std::uint32_t dst,
+                                                       Time since) const;
+  // Replaces `copy`'s stack with worker `wid_local`'s stored uplink echo and
+  // appends the switch record.
+  void attach_int_echo(const JobState& job, net::Packet& copy, int wid_local);
+  // multicast() with a per-receiver INT echo — same ports, same ready time,
+  // same event order; only the (checksum-excluded) telemetry fields differ
+  // per copy.
+  void multicast_int_echo(const JobState& job, const net::Packet& p);
+
   [[nodiscard]] static int local_worker_index(const JobState& job, std::uint16_t wid);
   [[nodiscard]] std::size_t job_register_bytes(const JobParams& params) const;
 

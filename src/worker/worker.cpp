@@ -56,6 +56,20 @@ Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
                    [this] { return static_cast<std::int64_t>(switch_epoch_); });
     reg->add_histogram(p + "recovery.resync_ns", &resync_ns_);
   }
+
+  if (inttel::kCompiledIn && config_.int_mode != inttel::kModeOff) {
+    // The result path for this worker crosses exactly three stamped hops:
+    // its uplink (worker -> switch), the aggregation switch itself, and the
+    // downlink (switch -> worker). Pre-declare them so their series exist in
+    // the registry from t=0; hops discovered later (multi-rack topologies)
+    // still accumulate stats, just without registered series.
+    int_collector_ = std::make_unique<inttel::IntCollector>("int." + this->name() + ".");
+    const std::uint32_t self = this->id();
+    const std::uint32_t sw = config_.switch_id;
+    int_collector_->declare_hop(inttel::HopKey{self, sw, inttel::HopKey::kLink}, "up");
+    int_collector_->declare_hop(inttel::HopKey{sw, self, inttel::HopKey::kSwitch}, "switch");
+    int_collector_->declare_hop(inttel::HopKey{sw, self, inttel::HopKey::kLink}, "down");
+  }
 }
 
 std::uint32_t Worker::in_flight_slots() const {
@@ -161,6 +175,7 @@ void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
     const auto first = static_cast<std::ptrdiff_t>(slot.off);
     p.values.assign(update_.begin() + first, update_.begin() + first + p.elem_count);
   }
+  p.int_mode = config_.int_mode;
 
   p.seal();
   slot.epoch = switch_epoch_;
@@ -273,6 +288,12 @@ void Worker::handle_result(net::Packet&& p, Time rx_at) {
   ++counters_.results_received;
   trace::emit(trace::kCatWorker, sim_.now(), id(), "recv", {"slot", p.idx},
               {"off", static_cast<std::int64_t>(p.off)}, {"ver", p.ver});
+  if (int_collector_ && p.int_mode != inttel::kModeOff) {
+    // Karn's rule for the residual too: a retransmitted slot has no clean
+    // end-to-end sample, so only hop stats are folded in (rtt = -1).
+    const std::int64_t rtt = slot.retransmitted ? -1 : sim_.now() - slot.sent_at;
+    int_collector_->observe(id(), p.int_stack, sim_.now(), rtt);
+  }
   // The chunk's span ends here: NIC rx processing since arrival, then done.
   attr::transition(id(), p.idx, attr::Component::kHostRx, rx_at);
   attr::close(id(), p.idx, sim_.now());
@@ -434,6 +455,7 @@ void Worker::send_rescue(std::uint32_t slot_index, std::uint64_t off, std::uint8
     const auto first = static_cast<std::ptrdiff_t>(off);
     p.values.assign(update_.begin() + first, update_.begin() + first + p.elem_count);
   }
+  p.int_mode = config_.int_mode;
   p.seal();
   ++recovery_.rescues_sent;
   const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());

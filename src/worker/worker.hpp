@@ -21,10 +21,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/histogram.hpp"
+#include "common/int_telemetry.hpp"
 #include "common/stats.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
@@ -57,6 +59,11 @@ struct WorkerConfig {
   // switch-dead handler (the fabric then degrades to the PS fallback).
   int sync_after = 0;
   int dead_after = 0;
+  // In-band telemetry mode for this worker's data packets (kModeOff /
+  // kModePhantom / kModeOnWire). With a non-off mode the worker owns an
+  // IntCollector that parses the stacks echoed back on its results.
+  // Meaningless unless the telemetry stack is compiled in (SWITCHML_INT).
+  std::uint8_t int_mode = inttel::kModeOff;
   net::NicConfig nic;
   net::NodeId switch_id = 0;
   std::uint8_t job = 0;
@@ -159,6 +166,15 @@ public:
   // Current retransmission timeout (adaptive or fixed).
   [[nodiscard]] Time current_rto() const { return rto_; }
 
+  // Telemetry sink for this worker's echoed INT stacks. Non-null only when
+  // the stack is compiled in AND config.int_mode != kModeOff.
+  [[nodiscard]] inttel::IntCollector* int_collector() const { return int_collector_.get(); }
+  // Wires the fabric-owned fault localizer into this worker's collector
+  // (no-op without a collector).
+  void set_int_localizer(inttel::FaultLocalizer* localizer) {
+    if (int_collector_) int_collector_->set_localizer(localizer);
+  }
+
   // Slots with an update packet outstanding (also exported as the
   // "<name>.in_flight_slots" gauge for timeline sampling).
   [[nodiscard]] std::uint32_t in_flight_slots() const;
@@ -237,6 +253,7 @@ private:
 
   Counters counters_;
   RecoveryCounters recovery_;
+  std::unique_ptr<inttel::IntCollector> int_collector_;
   std::uint32_t switch_epoch_ = 0;
   bool aborted_ = false;
   bool dead_declared_ = false;
