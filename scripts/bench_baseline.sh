@@ -66,7 +66,7 @@ if [ ${#benches[@]} -eq 0 ]; then
   benches=(fig2_pool_size fig3_speedup fig4_ate_scaling fig5_loss_inflation
            fig6_loss_timeline fig7_mtu fig10_quantization
            table1_training_throughput fault_sweep int_sweep recovery_sweep
-           micro_events)
+           micro_events transport_crossover)
 fi
 
 if [ -n "$out_dir" ]; then

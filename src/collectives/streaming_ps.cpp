@@ -98,6 +98,7 @@ net::Packet make_result(const net::Packet& update, net::NodeId src, net::NodeId 
   r.off = update.off;
   r.elem_count = update.elem_count;
   r.elem_bytes = update.elem_bytes;
+  r.transport = update.transport;
   r.values = values;
   r.seal();
   return r;
@@ -108,11 +109,13 @@ net::Packet make_result(const net::Packet& update, net::NodeId src, net::NodeId 
 // ------------------------------------------------------------------ PsShardNode
 
 PsShardNode::PsShardNode(sim::Simulation& simulation, net::NodeId id, std::string name,
-                         const net::NicConfig& nic, int n_workers, int n_shards,
+                         const net::NicConfig& nic, net::TransportKind transport,
+                         const net::RdmaUcParams& rdma, int n_workers, int n_shards,
                          std::uint32_t pool_size, bool timing_only,
                          std::vector<net::NodeId> worker_ids)
     : Node(simulation, id, std::move(name)),
       nic_(simulation, nic),
+      channel_(net::make_channel(simulation, this->name(), id, transport, nic_, rdma)),
       n_shards_(n_shards),
       aggregator_(n_workers, pool_size, timing_only),
       worker_ids_(std::move(worker_ids)) {
@@ -127,8 +130,8 @@ PsShardNode::PsShardNode(sim::Simulation& simulation, net::NodeId id, std::strin
 void PsShardNode::receive(net::Packet&& p, int /*port*/) {
   const int core = core_of(p.idx);
   auto shared = std::make_shared<net::Packet>(std::move(p));
-  nic_.rx_process(core, shared->wire_bytes(),
-                  [this, shared]() mutable { handle(std::move(*shared)); });
+  channel_->rx_process(core, *shared,
+                       [this, shared]() mutable { handle(std::move(*shared)); });
 }
 
 void PsShardNode::handle(net::Packet&& p) {
@@ -140,12 +143,12 @@ void PsShardNode::handle(net::Packet&& p) {
     // One unicast result per worker (software PS has no traffic manager).
     for (net::NodeId w : worker_ids_) {
       net::Packet r = make_result(p, id(), w, outcome.values);
-      const Time ready = nic_.tx_ready(core, r.wire_bytes());
+      const Time ready = channel_->tx_ready(core, r);
       uplink_->send_from(*this, std::move(r), ready);
     }
   } else if (outcome.kind == SoftwareAggregator::Outcome::Kind::ReplyStored) {
     net::Packet r = make_result(p, id(), p.src, outcome.values);
-    const Time ready = nic_.tx_ready(core, r.wire_bytes());
+    const Time ready = channel_->tx_ready(core, r);
     uplink_->send_from(*this, std::move(r), ready);
   }
 }
@@ -169,11 +172,11 @@ PsColocatedHost::PsColocatedHost(sim::Simulation& simulation, net::NodeId id, st
 
 void PsColocatedHost::receive(net::Packet&& p, int port) {
   if (p.kind == net::PacketKind::SmlUpdate) {
-    // Shard traffic shares the worker's NIC cores.
+    // Shard traffic shares the worker's NIC cores (and its channel).
     const int core = shard_core_of(p.idx);
     auto shared = std::make_shared<net::Packet>(std::move(p));
-    nic().rx_process(core, shared->wire_bytes(),
-                     [this, shared]() mutable { handle_shard(std::move(*shared)); });
+    channel().rx_process(core, *shared,
+                         [this, shared]() mutable { handle_shard(std::move(*shared)); });
     return;
   }
   Worker::receive(std::move(p), port);
@@ -194,7 +197,7 @@ void PsColocatedHost::handle_shard(net::Packet&& p) {
         continue;
       }
       net::Packet r = make_result(p, id(), w, outcome.values);
-      const Time ready = nic().tx_ready(core, r.wire_bytes());
+      const Time ready = channel().tx_ready(core, r);
       uplink()->send_from(*this, std::move(r), ready);
     }
   } else if (outcome.kind == SoftwareAggregator::Outcome::Kind::ReplyStored) {
@@ -203,7 +206,7 @@ void PsColocatedHost::handle_shard(net::Packet&& p) {
       Worker::receive(std::move(r), 0);
     } else {
       net::Packet r = make_result(p, id(), p.src, outcome.values);
-      const Time ready = nic().tx_ready(core, r.wire_bytes());
+      const Time ready = channel().tx_ready(core, r);
       uplink()->send_from(*this, std::move(r), ready);
     }
   }
@@ -245,6 +248,8 @@ StreamingPsCluster::StreamingPsCluster(const StreamingPsConfig& config) : config
     wc.elems_per_packet = config.elems_per_packet;
     wc.retransmit_timeout = config.retransmit_timeout;
     wc.nic = config.nic;
+    wc.transport = config.transport;
+    wc.rdma = config.rdma;
     wc.timing_only = config.timing_only;
 
     std::unique_ptr<worker::Worker> w;
@@ -268,7 +273,8 @@ StreamingPsCluster::StreamingPsCluster(const StreamingPsConfig& config) : config
   if (dedicated) {
     for (int j = 0; j < n; ++j) {
       auto ps = std::make_unique<PsShardNode>(sim_, static_cast<net::NodeId>(1000 + j),
-                                              "ps-" + std::to_string(j), config.nic, n, n,
+                                              "ps-" + std::to_string(j), config.nic,
+                                              config.transport, config.rdma, n, n,
                                               config.pool_size, config.timing_only, worker_ids);
       auto link = std::make_unique<net::Link>(sim_, lc, *ps, 0, *fabric_, n + j,
                                               config.seed + 500 + static_cast<std::uint64_t>(j));

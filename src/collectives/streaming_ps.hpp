@@ -63,7 +63,8 @@ private:
 class PsShardNode : public net::Node {
 public:
   PsShardNode(sim::Simulation& simulation, net::NodeId id, std::string name,
-              const net::NicConfig& nic, int n_workers, int n_shards,
+              const net::NicConfig& nic, net::TransportKind transport,
+              const net::RdmaUcParams& rdma, int n_workers, int n_shards,
               std::uint32_t pool_size, bool timing_only,
               std::vector<net::NodeId> worker_ids);
 
@@ -84,6 +85,7 @@ private:
   }
 
   net::HostNic nic_;
+  std::unique_ptr<net::Channel> channel_;
   net::Link* uplink_ = nullptr;
   int n_shards_;
   SoftwareAggregator aggregator_;
@@ -128,6 +130,10 @@ struct StreamingPsConfig {
   std::uint32_t elems_per_packet = net::kDefaultElemsPerPacket;
   Time retransmit_timeout = msec(1);
   net::NicConfig nic;    // workers AND PS processes (all run the DPDK program)
+  // Channel model for workers and PS processes alike (the fallback inherits
+  // the fabric's transport so a degraded RDMA job replays over RDMA).
+  net::TransportKind transport = net::kDefaultTransport;
+  net::RdmaUcParams rdma;
   bool timing_only = false;
   Time switch_latency = nsec(400);
   std::uint64_t seed = 42;

@@ -170,6 +170,8 @@ collectives::StreamingPsConfig fallback_ps_config(const FabricConfig& c, int n_w
   psc.elems_per_packet = c.elems_per_packet;
   psc.retransmit_timeout = c.retransmit_timeout;
   psc.nic = c.nic;
+  psc.transport = c.transport;
+  psc.rdma = c.rdma;
   psc.timing_only = c.timing_only;
   psc.switch_latency = c.switch_latency;
   psc.seed = c.seed + 9001; // distinct RNG stream for the replay
@@ -363,6 +365,8 @@ worker::WorkerConfig TopologyBuilder::worker_config(int wid, int n_at_switch,
   wc.retransmit_timeout = params_.retransmit_timeout;
   wc.adaptive_rto = params_.adaptive_rto;
   wc.nic = params_.nic;
+  wc.transport = params_.transport;
+  wc.rdma = params_.rdma;
   wc.switch_id = switch_id;
   wc.timing_only = params_.timing_only;
   wc.int_mode = params_.int_mode;

@@ -49,6 +49,11 @@ struct FabricParams {
   Time retransmit_timeout = msec(1);
   bool adaptive_rto = false; // §6: RTT-adaptive RTO (Jacobson/Karels)
   net::NicConfig nic = switchml_worker_nic_10g();
+  // Host channel model for every worker (and the PS fallback): the DPDK/UDP
+  // datapath or RDMA UC with the cost knobs in `rdma`. UC carries no
+  // transport-level ACK/RTO — loss repair stays with the slot protocol.
+  net::TransportKind transport = net::kDefaultTransport;
+  net::RdmaUcParams rdma;
   bool timing_only = false;
   // In-band telemetry mode for every worker's data packets (inttel::kModeOff
   // / kModePhantom / kModeOnWire). Non-off builds a fabric-wide

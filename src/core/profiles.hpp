@@ -41,6 +41,22 @@ inline net::NicConfig switchml_worker_nic(BitsPerSecond rate, int cores = 4) {
   return rate >= gbps(100) ? switchml_worker_nic_100g(cores) : switchml_worker_nic_10g(cores);
 }
 
+// --- UDP-vs-RDMA crossover (bench/transport_crossover) ----------------------
+//
+// The calibrated worker NICs above carry the whole DPDK datapath cost in the
+// per-packet term — exact for the 180-byte anchors, but it understates the
+// per-byte packetization/copy work once packets grow toward the MTU. This
+// profile adds that term explicitly (~0.35 ns/B ≈ 2.9 GB/s of touched bytes
+// per core), which is what turns the UDP datapath CPU-bound at 100 Gbps with
+// MTU frames — the regime where the paper's RDMA-UC transport, whose NIC
+// DMAs and segments messages with zero per-byte CPU, pulls >2x ahead.
+inline net::NicConfig crossover_udp_nic(BitsPerSecond rate, int cores = 4) {
+  net::NicConfig nic = switchml_worker_nic(rate, cores);
+  nic.per_byte_tx = 0.35;
+  nic.per_byte_rx = 0.35;
+  return nic;
+}
+
 // --- software parameter server (DPDK program running Algorithm 1, §5.3) ----
 
 inline net::NicConfig ps_host_nic(BitsPerSecond rate, int cores = 4) {

@@ -1,0 +1,80 @@
+// The host transport seam: one interface for "what does it cost this host to
+// put a SwitchML packet on the wire / consume one from it".
+//
+// Two implementations, mirroring the reference implementation's two client
+// transports:
+//   * UdpChannel     — the DPDK/UDP datapath. A pure pass-through to the
+//     HostNic per-packet/per-byte/per-batch core model, so a fabric built
+//     with TransportKind::kUdp is event-for-event identical to the code
+//     before the seam existed.
+//   * RdmaUcChannel  — message-level work queues (rdma_uc.hpp). CPU pays
+//     per-MESSAGE WQE/doorbell/CQE costs; segmentation, framing and DMA are
+//     NIC-side, so there is no per-byte software cost on the data path.
+//
+// Senders pick a lane (== NIC core, Flow-Director style) exactly as before;
+// the channel decides what the lane time costs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "sim/simulation.hpp"
+
+namespace switchml::net {
+
+// Cost knobs for the RDMA-UC channel. Defaults are calibrated against
+// published verbs microbenchmarks: posting a WQE is tens of ns, the MMIO
+// doorbell costs a PCIe write amortized over a batch of posts, and reaping a
+// CQE is another few tens of ns. tx/rx_latency is the PCIe DMA + NIC
+// segmentation pipeline (pure delay, does not occupy a core).
+struct RdmaUcParams {
+  Time wqe_post = nsec(40);    // CPU: build + post one work queue element
+  Time doorbell = nsec(200);   // CPU: MMIO doorbell write (amortized)
+  int doorbell_batch = 8;      // WQE posts rung per doorbell
+  Time cqe_poll = nsec(40);    // CPU: poll + reap one completion
+  Time tx_latency = nsec(900); // DMA read + segmentation pipeline
+  Time rx_latency = nsec(900); // scatter DMA + completion delivery
+};
+
+class Channel {
+public:
+  virtual ~Channel() = default;
+
+  [[nodiscard]] virtual TransportKind kind() const = 0;
+
+  // Reserves TX processing time on `lane` for `p` and returns the instant the
+  // packet is handed to the wire (Link::send_from's earliest_start).
+  virtual Time tx_ready(int lane, const Packet& p) = 0;
+
+  // Schedules `deliver` once `lane` has consumed a packet that arrived now.
+  virtual void rx_process(int lane, const Packet& p, sim::EventFn deliver) = 0;
+};
+
+// DPDK/UDP datapath: every packet charges the HostNic core model verbatim.
+class UdpChannel final : public Channel {
+public:
+  explicit UdpChannel(HostNic& nic) : nic_(nic) {}
+
+  [[nodiscard]] TransportKind kind() const override { return TransportKind::kUdp; }
+  Time tx_ready(int lane, const Packet& p) override {
+    return nic_.tx_ready(lane, p.wire_bytes());
+  }
+  void rx_process(int lane, const Packet& p, sim::EventFn deliver) override {
+    nic_.rx_process(lane, p.wire_bytes(), std::move(deliver));
+  }
+
+private:
+  HostNic& nic_;
+};
+
+// Builds the channel `kind` for a host. `name` prefixes the RDMA channel's
+// registered metrics ("<name>.rdma.*"); the UDP channel registers nothing of
+// its own (the HostNic it delegates to already has an owner). `nic` supplies
+// the lane count and the straggler slowdown factor for both kinds.
+std::unique_ptr<Channel> make_channel(sim::Simulation& simulation, const std::string& name,
+                                      NodeId owner, TransportKind kind, HostNic& nic,
+                                      const RdmaUcParams& rdma);
+
+} // namespace switchml::net

@@ -18,8 +18,14 @@ void HostNic::set_slowdown(double factor) {
 }
 
 Time HostNic::effective_cost(Time per_packet, double per_byte, std::int64_t bytes) const {
-  const Time base = per_packet + static_cast<Time>(per_byte * static_cast<double>(bytes)) +
-                    config_.per_batch_overhead / config_.batch_size;
+  // The amortized batch term is computed in double alongside per_byte:
+  // per_batch_overhead / batch_size on Time was integer division, silently
+  // dropping the sub-ns remainder whenever the overhead is not a multiple of
+  // the batch size (e.g. 1000ns/16 charged 62, not 62.5).
+  const Time base =
+      per_packet + static_cast<Time>(per_byte * static_cast<double>(bytes) +
+                                     static_cast<double>(config_.per_batch_overhead) /
+                                         static_cast<double>(config_.batch_size));
   if (slowdown_ == 1.0) return base;
   return static_cast<Time>(static_cast<double>(base) * slowdown_);
 }

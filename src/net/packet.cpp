@@ -4,15 +4,33 @@
 
 namespace switchml::net {
 
+namespace {
+// RDMA-UC message framing: SwitchML header + payload + telemetry as ONE
+// message, segmented by the NIC into path-MTU chunks that each pay the
+// RoCE per-segment framing. INT still composes: on-wire telemetry grows
+// the message (and can spill it into one more segment), exactly as the
+// UDP path charges it inside the packet.
+std::uint32_t rdma_message_wire_bytes(std::uint32_t payload) {
+  const std::uint32_t nseg = (payload + kRdmaMtuBytes - 1) / kRdmaMtuBytes;
+  return payload + std::max<std::uint32_t>(nseg, 1) * kRdmaSegmentHeaderBytes;
+}
+} // namespace
+
 std::uint32_t Packet::wire_bytes() const {
   switch (kind) {
     case PacketKind::SmlUpdate:
     case PacketKind::SmlResult:
     case PacketKind::SmlRescue:
+      if (transport == TransportKind::kRdmaUc)
+        return rdma_message_wire_bytes(kRdmaAppHeaderBytes + elem_count * elem_bytes +
+                                       int_wire_bytes());
       return kSmlHeaderBytes + elem_count * elem_bytes + int_wire_bytes();
     case PacketKind::SmlSyncQuery:
     case PacketKind::SmlSyncResponse:
-      // Headers only; both fit the minimum Ethernet frame.
+      // Headers only. UDP: minimum Ethernet frame; RDMA: a one-segment
+      // message carrying just the SwitchML header.
+      if (transport == TransportKind::kRdmaUc)
+        return rdma_message_wire_bytes(kRdmaAppHeaderBytes);
       return kAckWireBytes;
     case PacketKind::Segment:
       return kSegmentHeaderBytes + seg_len;

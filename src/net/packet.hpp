@@ -33,6 +33,31 @@ constexpr std::uint32_t kSmlHeaderBytes = 52;   // 14 + 20 + 8 + 10
 constexpr std::uint32_t kSegmentHeaderBytes = 54; // 14 + 20 + 20 (TCP-like)
 constexpr std::uint32_t kAckWireBytes = 64;     // minimum Ethernet frame
 
+// Which host channel model carried (or will carry) a packet. The reference
+// implementation ships two transports: the DPDK/UDP datapath (per-packet
+// software cost, 180-byte packets) and RDMA UC (message-level work queues,
+// NIC-side segmentation, loss left to SwitchML's own slot protocol). The
+// kind is stamped on every SwitchML packet by its sender so wire accounting
+// and the switch's echoes stay consistent end to end.
+enum class TransportKind : std::uint8_t { kUdp, kRdmaUc };
+
+// RDMA-UC (RoCEv2) framing: the NIC segments one message into path-MTU
+// chunks, each framed as Eth 14 + IPv4 20 + UDP 8 + BTH 12 + ICRC 4. The
+// 10-byte SwitchML header rides once per message, in front of the payload.
+constexpr std::uint32_t kRdmaMtuBytes = 4096;
+constexpr std::uint32_t kRdmaSegmentHeaderBytes = 58;
+constexpr std::uint32_t kRdmaAppHeaderBytes = 10;
+
+// Messages this large keep the RDMA channel wire-bound at 100 Gbps (the
+// paper's RDMA prototype aggregates 1024-element messages).
+constexpr std::uint32_t kRdmaElemsPerMessage = 1024;
+
+#ifdef SWITCHML_DEFAULT_TRANSPORT_RDMA
+constexpr TransportKind kDefaultTransport = TransportKind::kRdmaUc;
+#else
+constexpr TransportKind kDefaultTransport = TransportKind::kUdp;
+#endif
+
 // "No claim at this version" marker for SmlSyncResponse's sync_off fields.
 constexpr std::uint64_t kNoClaimOff = ~0ull;
 
@@ -46,6 +71,11 @@ struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   std::uint8_t job = 0; // multi-tenant pool selector (§6)
+  // Channel model that framed this packet; determines wire_bytes() for the
+  // SwitchML kinds. Like int_mode it is transport metadata, outside the
+  // end-to-end checksum. The switch copies it onto results and sync replies
+  // so the return path is framed like the request path.
+  TransportKind transport = TransportKind::kUdp;
 
   // --- SwitchML header (SmlUpdate / SmlResult) ---
   std::uint16_t wid = 0;  // worker id

@@ -1,6 +1,7 @@
 #include "net/reliable.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "common/attribution.hpp"
@@ -120,6 +121,14 @@ void ReliableSender::send_segment(std::int64_t seq) {
   }
   ++counters_.segments_sent;
   ++host_.transport_counters().segments_sent;
+  if (seq < snd_max_) {
+    // The single place retransmissions are counted: a byte below the
+    // high-water mark is actually going on the wire again. (The RTO handler
+    // used to credit the whole outstanding window up front, but go-back-N
+    // with the collapsed cwnd only resends one MSS per round-trip.)
+    ++counters_.retransmissions;
+    ++host_.transport_counters().retransmissions;
+  }
   trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(),
               seq < snd_max_ ? "seg_retx" : "seg_send", {"stream", stream_},
               {"seq", seq}, {"len", len});
@@ -156,10 +165,6 @@ void ReliableSender::on_timeout() {
   ++host_.transport_counters().timeouts;
   trace::emit(trace::kCatTransport, host_.simulation().now(), host_.id(), "rto",
               {"stream", stream_}, {"snd_una", snd_una_}, {"snd_nxt", snd_nxt_});
-  const auto window_segs =
-      static_cast<std::uint64_t>((snd_nxt_ - snd_una_ + profile_.mss - 1) / profile_.mss);
-  counters_.retransmissions += window_segs;
-  host_.transport_counters().retransmissions += window_segs;
   if (retx_since_ < 0) {
     retx_since_ = host_.simulation().now();
     attr::transition(host_.id(), stream_slot(stream_), attr::Component::kRtoStall,
@@ -178,12 +183,35 @@ void ReliableSender::on_timeout() {
   pump();
 }
 
+void ReliableSender::rtt_sample(Time sample) {
+  // Jacobson/Karels: SRTT <- SRTT + (R - SRTT)/8, RTTVAR <- RTTVAR +
+  // (|R - SRTT| - RTTVAR)/4. Samples are already Karn-filtered upstream (one
+  // probe per window, invalidated by any retransmission).
+  const double r = static_cast<double>(sample);
+  if (!have_rtt_) {
+    srtt_ = r;
+    rttvar_ = r / 2.0;
+    have_rtt_ = true;
+  } else {
+    const double err = r - srtt_;
+    srtt_ += err / 8.0;
+    rttvar_ += (std::abs(err) - rttvar_) / 4.0;
+  }
+}
+
+Time ReliableSender::base_rto() const {
+  if (!profile_.adaptive_rto || !have_rtt_) return profile_.rto_initial;
+  const auto rto = static_cast<Time>(srtt_ + 4.0 * rttvar_);
+  return std::clamp(rto, profile_.rto_min, profile_.rto_max);
+}
+
 void ReliableSender::on_ack(const Packet& ack) {
   const auto acked = static_cast<std::int64_t>(ack.seq);
   if (acked > snd_una_) {
     const Time now = host_.simulation().now();
     if (probe_end_ >= 0 && acked >= probe_end_) {
       host_.rtt_hist().record(now - probe_sent_at_);
+      if (profile_.adaptive_rto) rtt_sample(now - probe_sent_at_);
       probe_end_ = -1;
     }
     if (retx_since_ >= 0) {
@@ -195,7 +223,11 @@ void ReliableSender::on_ack(const Packet& ack) {
     snd_una_ = acked;
     dupacks_ = 0;
     in_fast_recovery_ = false;
-    rto_ = profile_.rto_initial;
+    // Forward progress clears any RTO backoff. Legacy mode resets to the
+    // fixed initial; adaptive mode re-bases on the live SRTT/RTTVAR estimate
+    // (the bug this replaces: the estimator's samples were recorded but the
+    // RTO never consulted them).
+    rto_ = base_rto();
     if (profile_.congestion_control && cwnd_ < profile_.window_bytes) {
       if (cwnd_ < ssthresh_) {
         cwnd_ += newly_acked; // slow start
@@ -218,9 +250,7 @@ void ReliableSender::on_ack(const Packet& ack) {
       // missing segment needs to be resent. Further duplicate ACKs for the
       // same hole are ignored until it is repaired (fast recovery).
       ++counters_.fast_retransmits;
-      ++counters_.retransmissions;
       ++host_.transport_counters().fast_retransmits;
-      ++host_.transport_counters().retransmissions;
       in_fast_recovery_ = true;
       dupacks_ = 0;
       if (retx_since_ < 0) {

@@ -31,6 +31,11 @@ struct TransportProfile {
   Time rto_initial = msec(2);
   double rto_backoff = 2.0;
   Time rto_max = msec(64);
+  // RTT-adaptive RTO (Jacobson/Karels SRTT + 4*RTTVAR, fed by the Karn-
+  // filtered probe samples the sender already records). Off by default: the
+  // legacy behaviour resets the RTO to rto_initial on every forward ACK.
+  bool adaptive_rto = false;
+  Time rto_min = usec(100);
   int dupack_threshold = 3;
   // TCP congestion control (AIMD). Connections are persistent (Gloo/NCCL
   // reuse them across rounds), so cwnd STARTS at the window cap and only
@@ -120,6 +125,8 @@ private:
   void send_segment(std::int64_t seq);
   void arm_rto();
   void on_timeout();
+  void rtt_sample(Time sample);
+  [[nodiscard]] Time base_rto() const;
 
   TransportHost& host_;
   NodeId dst_;
@@ -146,6 +153,10 @@ private:
   // Loss-recovery span: first retransmission (RTO or fast retransmit) until
   // the next cumulative ACK advance.
   Time retx_since_ = -1;
+  // Jacobson/Karels state (profile_.adaptive_rto).
+  double srtt_ = 0.0;
+  double rttvar_ = 0.0;
+  bool have_rtt_ = false;
 };
 
 // Receives a single stream of `total_bytes`. Out-of-order segments are

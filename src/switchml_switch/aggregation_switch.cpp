@@ -235,6 +235,7 @@ void AggregationSwitch::emit_result(const JobState& job, const net::Packet& upda
   result.elem_count = update.elem_count;
   result.elem_bytes = update.elem_bytes;
   result.int_mode = update.int_mode; // telemetry rides the whole reduction path
+  result.transport = update.transport; // results framed like the updates
   result.values = std::move(values);
   if (role_ == SwitchRole::Leaf) {
     // Completion at a leaf produces ONE partial-aggregate update packet for
@@ -449,6 +450,7 @@ void AggregationSwitch::handle_update(net::Packet&& p, int /*in_port*/) {
         reply.elem_count = p.elem_count;
         reply.elem_bytes = p.elem_bytes;
         reply.int_mode = p.int_mode;
+        reply.transport = p.transport;
         reply.values = std::move(result_values);
         if (inttel::kCompiledIn && reply.int_mode != inttel::kModeOff)
           attach_int_echo(job, reply, wid_local);
@@ -494,6 +496,7 @@ void AggregationSwitch::handle_sync_query(const net::Packet& p) {
   reply.idx = p.idx;
   reply.off = p.off; // echoed so the worker can match it to the stuck phase
   reply.epoch = epoch_;
+  reply.transport = p.transport;
   // Register reads in pipeline-stage order: seen (stage 0) before count
   // (stage 1), exactly as a real probe packet would traverse them.
   std::uint64_t seen = 0;

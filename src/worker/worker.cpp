@@ -17,6 +17,8 @@ Worker::Worker(sim::Simulation& simulation, net::NodeId id, std::string name,
     : Node(simulation, id, std::move(name)),
       config_(config),
       nic_(simulation, config.nic),
+      channel_(net::make_channel(simulation, this->name(), id, config.transport, nic_,
+                                 config.rdma)),
       slot_ver_(config.pool_size, 0),
       slots_(config.pool_size),
       rto_(config.retransmit_timeout) {
@@ -176,6 +178,7 @@ void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
     p.values.assign(update_.begin() + first, update_.begin() + first + p.elem_count);
   }
   p.int_mode = config_.int_mode;
+  p.transport = config_.transport;
 
   p.seal();
   slot.epoch = switch_epoch_;
@@ -193,7 +196,7 @@ void Worker::send_update(std::uint32_t slot_index, bool retransmission) {
                      trace::FlowPhase::kStart);
   }
 
-  const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
+  const Time wire_time = channel_->tx_ready(core_of(slot_index), p);
   slot.sent_at = sim_.now(); // RTT is measured end-to-end at the app layer
   drain_wire_ledger();       // keeps the pending-wire ledger bounded
   wire_pending_.push_back(wire_time);
@@ -250,7 +253,7 @@ void Worker::receive(net::Packet&& p, int /*port*/) {
   const int core = core_of(p.idx);
   const Time rx_at = sim_.now(); // NIC arrival; kHostRx runs from here to consume
   auto shared = std::make_shared<net::Packet>(std::move(p));
-  nic_.rx_process(core, shared->wire_bytes(), [this, shared, sync, rx_at]() mutable {
+  channel_->rx_process(core, *shared, [this, shared, sync, rx_at]() mutable {
     if (sync)
       handle_sync_response(std::move(*shared));
     else
@@ -382,9 +385,10 @@ void Worker::send_sync_query(std::uint32_t slot_index) {
   p.ver = slot_ver_[slot_index];
   p.idx = slot_index;
   p.off = slot.off;
+  p.transport = config_.transport;
   p.seal();
   ++recovery_.sync_queries;
-  const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
+  const Time wire_time = channel_->tx_ready(core_of(slot_index), p);
   trace::emit(trace::kCatFault, sim_.now(), id(), "sync_query", {"slot", slot_index},
               {"off", static_cast<std::int64_t>(slot.off)});
   uplink_->send_from(*this, std::move(p), wire_time);
@@ -456,9 +460,10 @@ void Worker::send_rescue(std::uint32_t slot_index, std::uint64_t off, std::uint8
     p.values.assign(update_.begin() + first, update_.begin() + first + p.elem_count);
   }
   p.int_mode = config_.int_mode;
+  p.transport = config_.transport;
   p.seal();
   ++recovery_.rescues_sent;
-  const Time wire_time = nic_.tx_ready(core_of(slot_index), p.wire_bytes());
+  const Time wire_time = channel_->tx_ready(core_of(slot_index), p);
   trace::emit(trace::kCatFault, sim_.now(), id(), "rescue_send", {"slot", slot_index},
               {"off", static_cast<std::int64_t>(off)}, {"ver", ver});
   uplink_->send_from(*this, std::move(p), wire_time);

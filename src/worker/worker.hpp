@@ -28,6 +28,7 @@
 #include "common/histogram.hpp"
 #include "common/int_telemetry.hpp"
 #include "common/stats.hpp"
+#include "net/channel.hpp"
 #include "net/link.hpp"
 #include "net/nic.hpp"
 #include "net/node.hpp"
@@ -65,6 +66,11 @@ struct WorkerConfig {
   // Meaningless unless the telemetry stack is compiled in (SWITCHML_INT).
   std::uint8_t int_mode = inttel::kModeOff;
   net::NicConfig nic;
+  // Host channel model: the DPDK/UDP datapath (default) or RDMA UC with the
+  // cost knobs below. RDMA UC has no transport-level ACK/RTO — loss repair
+  // stays with the slot protocol's timers in both modes.
+  net::TransportKind transport = net::kDefaultTransport;
+  net::RdmaUcParams rdma;
   net::NodeId switch_id = 0;
   std::uint8_t job = 0;
   bool timing_only = false; // packets carry sizes but no values
@@ -181,6 +187,7 @@ public:
 
   [[nodiscard]] const WorkerConfig& config() const { return config_; }
   [[nodiscard]] net::HostNic& nic() { return nic_; }
+  [[nodiscard]] net::Channel& channel() { return *channel_; }
   [[nodiscard]] bool reduction_active() const { return remaining_chunks_ > 0; }
   // Highest phase any slot has completed minus lowest — the §3.5 invariant
   // says this can never exceed 1 across workers; exposed for tests.
@@ -235,6 +242,7 @@ protected:
 private:
   WorkerConfig config_;
   net::HostNic nic_;
+  std::unique_ptr<net::Channel> channel_; // UDP pass-through or RDMA UC
   net::Link* uplink_ = nullptr;
   std::function<net::NodeId(std::uint32_t)> dst_resolver_;
 

@@ -20,6 +20,9 @@ double switchml_ate(BitsPerSecond rate, int workers, std::uint32_t pool = 0,
                     double loss = 0.0, std::uint8_t elem_bytes = 4, bool mtu = false,
                     bool adaptive_rto = false) {
   core::ClusterConfig cfg = core::ClusterConfig::for_rate(rate, workers);
+  // These shapes are calibrated against the paper's DPDK/UDP datapath; pin it
+  // so the suite holds under -DSWITCHML_RDMA_DEFAULT=ON.
+  cfg.transport = net::TransportKind::kUdp;
   cfg.timing_only = true;
   cfg.loss_prob = loss;
   cfg.wire_elem_bytes = elem_bytes;
@@ -167,6 +170,7 @@ TEST(PaperShapes, Sec6HierarchyHoldsLineRateAcrossRacks) {
   core::HierarchyConfig cfg;
   cfg.racks = 2;
   cfg.workers_per_rack = 8;
+  cfg.transport = net::TransportKind::kUdp; // line-rate claim is UDP-calibrated
   cfg.timing_only = true;
   cfg.nic = core::switchml_worker_nic_10g();
   core::HierarchicalCluster h(cfg);
@@ -179,6 +183,7 @@ TEST(PaperShapes, Sec6ConcurrentJobsKeepFullRate) {
   core::MultiJobConfig cfg;
   cfg.n_jobs = 4;
   cfg.workers_per_job = 4;
+  cfg.transport = net::TransportKind::kUdp; // line-rate claim is UDP-calibrated
   cfg.timing_only = true;
   core::MultiJobCluster cluster(cfg);
   auto tats = cluster.reduce_timing_all(kElems);
