@@ -44,10 +44,60 @@ void validate(const FabricConfig& config) {
                    if (s.branching < 1 || s.workers_per_rack < 1)
                      throw std::invalid_argument("Fabric: invalid tree shape");
                  },
+                 [](const IrregularSpec& s) { validate_irregular(s); },
              },
              config.topology);
 }
 } // namespace
+
+void validate_irregular(const IrregularSpec& spec) {
+  const auto m = static_cast<int>(spec.switch_parent.size());
+  if (m < 1 || spec.switch_parent[0] != -1)
+    throw std::invalid_argument(
+        "IrregularSpec: switch_parent[0] must be -1 (switch 0 is the root)");
+  for (int i = 1; i < m; ++i) {
+    const int p = spec.switch_parent[static_cast<std::size_t>(i)];
+    if (p < 0 || p >= i)
+      throw std::invalid_argument(
+          "IrregularSpec: switch_parent[" + std::to_string(i) + "] = " + std::to_string(p) +
+          " must name an earlier switch (0 <= parent < " + std::to_string(i) +
+          "), so the adjacency is an acyclic single-rooted tree");
+  }
+  if (spec.worker_switch.empty())
+    throw std::invalid_argument("IrregularSpec: need at least one worker");
+  std::vector<bool> has_switch_child(static_cast<std::size_t>(m), false);
+  std::vector<bool> has_worker_child(static_cast<std::size_t>(m), false);
+  for (int i = 1; i < m; ++i)
+    has_switch_child[static_cast<std::size_t>(spec.switch_parent[static_cast<std::size_t>(i)])] =
+        true;
+  for (std::size_t w = 0; w < spec.worker_switch.size(); ++w) {
+    const int s = spec.worker_switch[w];
+    if (s < 0 || s >= m)
+      throw std::invalid_argument("IrregularSpec: worker_switch[" + std::to_string(w) + "] = " +
+                                  std::to_string(s) + " out of range (spec has " +
+                                  std::to_string(m) + " switches)");
+    if (w > 0 && s < spec.worker_switch[w - 1])
+      throw std::invalid_argument(
+          "IrregularSpec: worker_switch must be non-decreasing (worker_switch[" +
+          std::to_string(w) + "] = " + std::to_string(s) + " after " +
+          std::to_string(spec.worker_switch[w - 1]) +
+          "); grouping workers by switch keeps each leaf switch's global worker ids "
+          "consecutive, which the switch's seen bitmap indexing (wid - wid_base) requires");
+    has_worker_child[static_cast<std::size_t>(s)] = true;
+  }
+  for (int i = 0; i < m; ++i) {
+    if (has_switch_child[static_cast<std::size_t>(i)] &&
+        has_worker_child[static_cast<std::size_t>(i)])
+      throw std::invalid_argument(
+          "IrregularSpec: switch " + std::to_string(i) +
+          " has both worker and switch children; a switch's children must be all workers or "
+          "all switches (its aggregation pool counts contributions of one kind)");
+    if (!has_switch_child[static_cast<std::size_t>(i)] &&
+        !has_worker_child[static_cast<std::size_t>(i)])
+      throw std::invalid_argument("IrregularSpec: switch " + std::to_string(i) +
+                                  " has no children (every switch must aggregate something)");
+  }
+}
 
 Fabric::Fabric(FabricConfig config) : config_(std::move(config)) {
   validate(config_);
@@ -350,6 +400,11 @@ void TopologyBuilder::build() {
                    build_subtree(0, nullptr, 0, next_worker);
                    f_.workers_per_job_ = next_worker;
                  },
+                 [&](const IrregularSpec& s) {
+                   f_.n_jobs_ = 1;
+                   f_.workers_per_job_ = static_cast<int>(s.worker_switch.size());
+                   build_irregular(s);
+                 },
              },
              f_.config_.topology);
 }
@@ -524,6 +579,105 @@ swprog::AggregationSwitch* TopologyBuilder::build_subtree(int level,
   }
   sw->add_multicast_group(kWorkerMulticastGroup, child_ports);
   return sw;
+}
+
+void TopologyBuilder::build_irregular(const IrregularSpec& spec) {
+  // Fabric's ctor validated already, but the facades in cluster.hpp don't —
+  // cheap enough to re-run unconditionally.
+  validate_irregular(spec);
+  const auto m = static_cast<int>(spec.switch_parent.size());
+  const auto n_workers = static_cast<int>(spec.worker_switch.size());
+
+  // Child lists in index order; ports at a switch follow these orders.
+  std::vector<std::vector<int>> sw_children(static_cast<std::size_t>(m));
+  std::vector<std::vector<int>> worker_children(static_cast<std::size_t>(m));
+  for (int i = 1; i < m; ++i)
+    sw_children[static_cast<std::size_t>(spec.switch_parent[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  for (int w = 0; w < n_workers; ++w)
+    worker_children[static_cast<std::size_t>(spec.worker_switch[static_cast<std::size_t>(w)])]
+        .push_back(w);
+
+  const auto n_children_of = [&](int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    return static_cast<int>(worker_children[idx].empty() ? sw_children[idx].size()
+                                                         : worker_children[idx].size());
+  };
+
+  // Switches in spec index order, so Fabric::switch_at(i) is spec switch i.
+  for (int i = 0; i < m; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const bool leaf_switch = !worker_children[idx].empty();
+    swprog::AggregationConfig sc;
+    sc.n_workers = n_children_of(i);
+    sc.pool_size = params_.pool_size;
+    sc.elems_per_packet = params_.elems_per_packet;
+    sc.timing_only = params_.timing_only;
+    sc.mtu_emulation = params_.mtu_emulation;
+    sc.multicast_group = kWorkerMulticastGroup;
+    sc.sram_budget_bytes = params_.sram_budget_bytes;
+    sc.ablate_shadow_copy = params_.ablate_shadow_copy;
+    sc.ablate_seen_bitmap = params_.ablate_seen_bitmap;
+    sc.fp16_frac_bits = params_.fp16_frac_bits;
+    sc.lossless = params_.lossless;
+    // Like tree bottoms: leaf switches see global worker ids (consecutive by
+    // the non-decreasing worker_switch rule); internal ones their children's
+    // leaf_wid.
+    sc.wid_base = leaf_switch ? static_cast<std::uint16_t>(worker_children[idx].front()) : 0;
+    const int parent = spec.switch_parent[idx];
+    auto role = swprog::SwitchRole::Standalone;
+    if (m > 1) role = parent < 0 ? swprog::SwitchRole::Root : swprog::SwitchRole::Leaf;
+    if (parent >= 0) {
+      sc.parent_port = n_children_of(i); // one past the child ports
+      const auto& siblings = sw_children[static_cast<std::size_t>(parent)];
+      sc.leaf_wid = static_cast<std::uint16_t>(
+          std::find(siblings.begin(), siblings.end(), i) - siblings.begin());
+    }
+    f_.switches_.push_back(std::make_unique<swprog::AggregationSwitch>(
+        f_.sim_, next_switch_id_ + static_cast<net::NodeId>(i), "sw-" + std::to_string(i), sc,
+        role, params_.switch_latency));
+  }
+
+  // Worker links first (worker index order, tree-style seeds), then switch
+  // uplinks (child index order, tree-style seeds keyed by the child's id) —
+  // the layout documented at the declaration.
+  for (int w = 0; w < n_workers; ++w) {
+    const auto s = static_cast<std::size_t>(spec.worker_switch[static_cast<std::size_t>(w)]);
+    auto& sw = *f_.switches_[s];
+    const auto& group = worker_children[s];
+    const int port = static_cast<int>(std::find(group.begin(), group.end(), w) - group.begin());
+    auto wk = std::make_unique<worker::Worker>(
+        f_.sim_, static_cast<net::NodeId>(w), "worker-" + std::to_string(w),
+        worker_config(w, static_cast<int>(group.size()), sw.id()));
+    auto link = std::make_unique<net::Link>(f_.sim_, link_config(params_.link_rate), *wk, 0, sw,
+                                            port, params_.seed + static_cast<std::uint64_t>(w));
+    wk->set_uplink(*link);
+    sw.attach(port, *link);
+    f_.workers_.push_back(std::move(wk));
+    f_.links_.push_back(std::move(link));
+  }
+  for (int i = 1; i < m; ++i) {
+    auto& child = *f_.switches_[static_cast<std::size_t>(i)];
+    const int parent = spec.switch_parent[static_cast<std::size_t>(i)];
+    auto& par = *f_.switches_[static_cast<std::size_t>(parent)];
+    const auto& siblings = sw_children[static_cast<std::size_t>(parent)];
+    const int port = static_cast<int>(std::find(siblings.begin(), siblings.end(), i) -
+                                      siblings.begin());
+    const int child_parent_port = n_children_of(i);
+    auto link = std::make_unique<net::Link>(
+        f_.sim_, link_config(uplink_rate()), child, child_parent_port, par, port,
+        params_.seed + 7000 + static_cast<std::uint64_t>(child.id()));
+    child.attach(child_parent_port, *link);
+    par.attach(port, *link);
+    f_.links_.push_back(std::move(link));
+  }
+
+  for (int i = 0; i < m; ++i) {
+    std::vector<int> child_ports(static_cast<std::size_t>(n_children_of(i)));
+    for (std::size_t p = 0; p < child_ports.size(); ++p) child_ports[p] = static_cast<int>(p);
+    f_.switches_[static_cast<std::size_t>(i)]->add_multicast_group(kWorkerMulticastGroup,
+                                                                   child_ports);
+  }
 }
 
 } // namespace switchml::core

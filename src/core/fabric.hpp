@@ -117,7 +117,33 @@ struct TreeSpec {
   int workers_per_rack = 4;
 };
 
-using TopologySpec = std::variant<RackSpec, MultiJobSpec, HierarchySpec, TreeSpec>;
+// Explicit switch/worker adjacency: any single-rooted switch tree, no shape
+// constraints beyond what the aggregation protocol needs. Scenario files use
+// this for asymmetric fabrics (uneven racks, lopsided trees) that none of the
+// parametric specs can describe.
+//
+// `switch_parent[i]` is the parent switch of switch i: entry 0 must be -1
+// (the root), and every other entry must name an earlier switch
+// (0 <= switch_parent[i] < i), which makes the adjacency an acyclic
+// single-rooted tree by construction. `worker_switch[w]` attaches worker w to
+// that switch. Two structural rules, both enforced by validate_irregular:
+//   * a switch's children are either all workers or all switches — the
+//     aggregation protocol addresses worker children by `wid - wid_base` in
+//     its seen bitmaps, so a switch cannot mix contribution kinds;
+//   * `worker_switch` is non-decreasing, so each leaf switch's workers hold
+//     CONSECUTIVE global ids and worker w in the file is Fabric::worker(w).
+struct IrregularSpec {
+  std::vector<int> switch_parent = {-1};
+  std::vector<int> worker_switch = {0, 0};
+};
+
+// Structural validation of an IrregularSpec (see the rules above); throws
+// std::invalid_argument. Free-standing so scenario loaders can validate a
+// parsed spec without building a fabric.
+void validate_irregular(const IrregularSpec& spec);
+
+using TopologySpec =
+    std::variant<RackSpec, MultiJobSpec, HierarchySpec, TreeSpec, IrregularSpec>;
 
 struct FabricConfig : FabricParams {
   TopologySpec topology = RackSpec{};
@@ -248,6 +274,11 @@ private:
   // Switch trees (hierarchy == 2 levels; tree == arbitrary depth), built DFS.
   swprog::AggregationSwitch* build_subtree(int level, swprog::AggregationSwitch* parent,
                                            int index_at_parent, int& next_worker);
+  // Explicit-adjacency trees: switches in spec index order (switch_at(i) is
+  // spec switch i), then worker links in worker order, then switch uplinks in
+  // child index order — so Fabric::link(i) is worker i's uplink for
+  // i < n_workers and switch (1 + i - n_workers)'s uplink after that.
+  void build_irregular(const IrregularSpec& spec);
 
   worker::WorkerConfig worker_config(int wid, int n_at_switch, net::NodeId switch_id) const;
   [[nodiscard]] net::LinkConfig link_config(BitsPerSecond rate) const;

@@ -52,10 +52,11 @@ namespace {
 }
 } // namespace
 
-void FaultInjector::validate() const {
-  const auto n_workers = f_.n_workers();
-  const auto n_links = f_.n_links();
-  const auto n_switches = f_.n_switches();
+void validate_fault_plan(const FaultPlan& plan, const FaultTargets& targets, bool lossless) {
+  const FaultPlan& plan_ = plan;
+  const int n_workers = targets.n_workers;
+  const std::size_t n_links = targets.n_links;
+  const std::size_t n_switches = targets.n_switches;
   for (std::size_t i = 0; i < plan_.stragglers.size(); ++i) {
     const StragglerSpec& s = plan_.stragglers[i];
     if (s.worker < 0 || s.worker >= n_workers)
@@ -78,6 +79,21 @@ void FaultInjector::validate() const {
     if (s.down_at < 0 || s.up_at <= s.down_at)
       reject("flaps", i, s.down_at,
              "needs up_at > down_at >= 0 (up_at=" + std::to_string(s.up_at) + ")");
+    // Two one-shot flaps whose [down_at, up_at) windows intersect on one link
+    // would not compose: set_down/set_up are idempotent, so the earlier
+    // flap's up silently revives the link in the middle of the later flap's
+    // window. Require disjoint windows per link.
+    for (std::size_t j = 0; j < i; ++j) {
+      const LinkFlapSpec& p = plan_.flaps[j];
+      if (p.link != s.link) continue;
+      if (s.down_at < p.up_at && p.down_at < s.up_at)
+        reject("flaps", i, s.down_at,
+               "window [" + std::to_string(s.down_at) + ", " + std::to_string(s.up_at) +
+                   ") overlaps flaps[" + std::to_string(j) + "] [" + std::to_string(p.down_at) +
+                   ", " + std::to_string(p.up_at) + ") on link " + std::to_string(s.link) +
+                   "; one-shot flap windows on one link must be disjoint (set_down/set_up are "
+                   "idempotent, so the earlier up would revive the link mid-window)");
+    }
   }
   for (std::size_t i = 0; i < plan_.flap_cycles.size(); ++i) {
     const LinkFlapCycleSpec& s = plan_.flap_cycles[i];
@@ -116,7 +132,7 @@ void FaultInjector::validate() const {
                  std::to_string(n_switches) + " switches)");
     if (s.at < 0) reject("switch_kills", i, s.at, "time must be >= 0");
   }
-  if (f_.config().lossless) {
+  if (lossless) {
     // Lossless mode (Algorithm 1/2) deliberately strips ALL recovery
     // machinery — no retransmission timers, no version bit, no seen bitmaps —
     // so each loss-inducing fault class is structurally unrecoverable, not
@@ -144,6 +160,11 @@ void FaultInjector::validate() const {
           "have, so the kill would never be detected. Use the default loss-tolerant mode for "
           "kill plans.");
   }
+}
+
+void FaultInjector::validate() const {
+  validate_fault_plan(plan_, FaultTargets{f_.n_workers(), f_.n_links(), f_.n_switches()},
+                      f_.config().lossless);
 }
 
 int FaultInjector::links_down() const {

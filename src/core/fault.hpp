@@ -23,6 +23,23 @@ namespace switchml::core {
 
 class Fabric;
 
+// The fabric shape a FaultPlan's indices are validated against. Derivable
+// from a TopologySpec without building the fabric (scenario::shape_counts),
+// so a scenario loader can reject a bad plan eagerly at parse time.
+struct FaultTargets {
+  int n_workers = 0;
+  std::size_t n_links = 0;
+  std::size_t n_switches = 0;
+};
+
+// Validates a plan against a fabric shape: throws std::invalid_argument with
+// the offending spec's kind, index, and sim time ("FaultPlan: flaps[1] at
+// t=... ns: ..."). Checks index ranges, time windows, duty cycles in (0,1),
+// OVERLAPPING one-shot flaps on one link (Link::set_down/set_up are
+// idempotent, so the first flap's up would silently revive the link inside
+// the second flap's window), and the lossless-mode incompatibilities.
+void validate_fault_plan(const FaultPlan& plan, const FaultTargets& targets, bool lossless);
+
 class FaultInjector {
 public:
   // Validates the plan against the fabric shape (throws std::invalid_argument
